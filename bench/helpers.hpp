@@ -1,0 +1,116 @@
+// Shared benchmark utilities: table printing and trace-based instrumentation.
+//
+// The benches measure SIMULATED time and message/byte counts — the metrics
+// the paper's claims are about (message rounds, notifications, overhead) —
+// so results are exactly reproducible across machines.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "spec/events.hpp"
+
+namespace vsgc::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Ts>
+  void row(Ts&&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(fmt(std::forward<Ts>(cells))), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(const std::string& title) const {
+    std::cout << "\n== " << title << " ==\n";
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+      for (const auto& r : rows_) {
+        if (c < r.size()) width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    print_row(headers_, width);
+    std::string sep;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      sep += std::string(width[c] + 2, '-');
+      if (c + 1 < headers_.size()) sep += "+";
+    }
+    std::cout << sep << "\n";
+    for (const auto& r : rows_) print_row(r, width);
+  }
+
+ private:
+  static std::string fmt(const std::string& s) { return s; }
+  static std::string fmt(const char* s) { return s; }
+  static std::string fmt(double v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << v;
+    return os.str();
+  }
+  template <typename T>
+  static std::string fmt(T v) {
+    return std::to_string(v);
+  }
+
+  void print_row(const std::vector<std::string>& r,
+                 const std::vector<std::size_t>& width) const {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::cout << " " << std::setw(static_cast<int>(width[c])) << r[c] << " ";
+      if (c + 1 < r.size()) std::cout << "|";
+    }
+    std::cout << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline double ms(sim::Time t) {
+  return static_cast<double>(t) / sim::kMillisecond;
+}
+
+/// Records the simulated time of GCS view deliveries and block events.
+class ViewTimeRecorder : public spec::TraceSink {
+ public:
+  void on_event(const spec::Event& ev) override {
+    if (const auto* v = std::get_if<spec::GcsView>(&ev.body)) {
+      views[v->p].push_back({v->view.id, ev.at});
+    } else if (const auto* b = std::get_if<spec::GcsBlock>(&ev.body)) {
+      block_at[b->p] = ev.at;
+    } else if (const auto* bo = std::get_if<spec::GcsBlockOk>(&ev.body)) {
+      (void)bo;
+    } else if (const auto* d = std::get_if<spec::GcsDeliver>(&ev.body)) {
+      deliveries.push_back(ev.at);
+    }
+  }
+
+  /// Latest install time of view `id` across the given members, or -1.
+  sim::Time install_time(ViewId id) const {
+    sim::Time latest = -1;
+    for (const auto& [p, list] : views) {
+      for (const auto& [vid, at] : list) {
+        if (vid == id) latest = std::max(latest, at);
+      }
+    }
+    return latest;
+  }
+
+  std::size_t views_delivered_to(ProcessId p) const {
+    auto it = views.find(p);
+    return it == views.end() ? 0 : it->second.size();
+  }
+
+  std::map<ProcessId, std::vector<std::pair<ViewId, sim::Time>>> views;
+  std::map<ProcessId, sim::Time> block_at;
+  std::vector<sim::Time> deliveries;
+};
+
+}  // namespace vsgc::bench

@@ -1,0 +1,129 @@
+// Bench harnesses: oracle-driven worlds for the paper's algorithm and the
+// two-round baseline, with a membership-round model.
+//
+// The oracle lets a bench control exactly when start_change and view
+// notifications fire, so it can model a membership service whose server
+// round takes `membership_round` of simulated time — and measure how long
+// the CLIENT-side virtual synchrony layer adds on top (the paper's E1 claim:
+// its round runs in parallel with the membership round; the classic design
+// serializes behind it).
+#pragma once
+
+#include <any>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "app/blocking_client.hpp"
+#include "baseline/two_round_endpoint.hpp"
+#include "gcs/gcs_endpoint.hpp"
+#include "gcs/process.hpp"
+#include "membership/oracle.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "spec/events.hpp"
+#include "util/rng.hpp"
+
+namespace vsgc::bench {
+
+/// Client for the baseline end-point: immediately acknowledges block
+/// requests (same contract as app::BlockingClient).
+class AutoBlockClient : public gcs::Client {
+ public:
+  explicit AutoBlockClient(baseline::TwoRoundEndpoint& ep) : ep_(ep) {
+    ep.set_client(*this);
+  }
+  void deliver(ProcessId, const gcs::AppMsg&) override { ++delivered; }
+  void view(const View&, const std::set<ProcessId>&) override { ++views; }
+  void block() override { ep_.block_ok(); }
+
+  int delivered = 0;
+  int views = 0;
+
+ private:
+  baseline::TwoRoundEndpoint& ep_;
+};
+
+template <typename EndpointT, typename ClientT>
+struct OracleBenchWorldBase {
+  OracleBenchWorldBase(int n, net::Network::Config net_cfg, std::uint64_t seed)
+      : network(sim, Rng(seed), net_cfg) {
+    trace.set_recording(false);
+    for (int i = 0; i < n; ++i) {
+      const ProcessId p{static_cast<std::uint32_t>(i + 1)};
+      transports.push_back(std::make_unique<transport::CoRfifoTransport>(
+          sim, network, net::node_of(p)));
+    }
+  }
+
+  ProcessId pid(int i) const {
+    return ProcessId{static_cast<std::uint32_t>(i + 1)};
+  }
+
+  std::set<ProcessId> all() const {
+    std::set<ProcessId> out;
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      out.insert(ProcessId{static_cast<std::uint32_t>(i + 1)});
+    }
+    return out;
+  }
+
+  void wire(int i, EndpointT* ep) {
+    transports[static_cast<std::size_t>(i)]->set_deliver_handler(
+        [ep](net::NodeId from, const std::any& payload) {
+          ep->on_co_rfifo_deliver(net::process_of(from), payload);
+        });
+    oracle.attach(pid(i), *ep);
+  }
+
+  /// Schedule a full reconfiguration: start_change at `at`, membership view
+  /// formed one `membership_round` later.
+  void schedule_change(sim::Time at, sim::Time membership_round,
+                       const std::set<ProcessId>& members) {
+    sim.schedule_at(at, [this, members]() { oracle.start_change(members); });
+    sim.schedule_at(at + membership_round,
+                    [this, members]() { oracle.deliver_view(members); });
+  }
+
+  void run_until(sim::Time t) { sim.run_until(t); }
+
+  sim::Simulator sim;
+  spec::TraceBus trace;
+  net::Network network;
+  membership::OracleMembership oracle;
+  std::vector<std::unique_ptr<transport::CoRfifoTransport>> transports;
+  std::vector<std::unique_ptr<EndpointT>> endpoints;
+  std::vector<std::unique_ptr<ClientT>> clients;
+};
+
+struct GcsBenchWorld
+    : OracleBenchWorldBase<gcs::GcsEndpoint, app::BlockingClient> {
+  GcsBenchWorld(int n, net::Network::Config net_cfg, std::uint64_t seed = 1,
+                gcs::ForwardingKind fwd = gcs::ForwardingKind::kMinCopies)
+      : OracleBenchWorldBase(n, net_cfg, seed) {
+    for (int i = 0; i < n; ++i) {
+      endpoints.push_back(std::make_unique<gcs::GcsEndpoint>(
+          sim, *transports[static_cast<std::size_t>(i)], pid(i),
+          gcs::make_strategy(fwd), &trace));
+      clients.push_back(
+          std::make_unique<app::BlockingClient>(*endpoints.back()));
+      wire(i, endpoints.back().get());
+    }
+  }
+};
+
+struct BaselineBenchWorld
+    : OracleBenchWorldBase<baseline::TwoRoundEndpoint, AutoBlockClient> {
+  BaselineBenchWorld(int n, net::Network::Config net_cfg,
+                     std::uint64_t seed = 1)
+      : OracleBenchWorldBase(n, net_cfg, seed) {
+    for (int i = 0; i < n; ++i) {
+      endpoints.push_back(std::make_unique<baseline::TwoRoundEndpoint>(
+          sim, *transports[static_cast<std::size_t>(i)], pid(i), &trace));
+      clients.push_back(std::make_unique<AutoBlockClient>(*endpoints.back()));
+      wire(i, endpoints.back().get());
+    }
+  }
+};
+
+}  // namespace vsgc::bench

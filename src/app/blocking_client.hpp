@@ -1,0 +1,74 @@
+// BlockingClient: a ready-made application adapter satisfying CLIENT:SPEC
+// (paper Figure 12).
+//
+// It answers every block() request with block_ok() and queues application
+// sends issued while blocked, flushing them when the next view arrives — so
+// applications built on it can never violate the blocking contract the
+// service's Self Delivery liveness depends on.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "gcs/client.hpp"
+#include "gcs/gcs_endpoint.hpp"
+
+namespace vsgc::app {
+
+class BlockingClient : public gcs::Client {
+ public:
+  using DeliverFn = std::function<void(ProcessId from, const gcs::AppMsg&)>;
+  using ViewFn =
+      std::function<void(const View&, const std::set<ProcessId>&)>;
+
+  explicit BlockingClient(gcs::GcsEndpoint& endpoint) : endpoint_(endpoint) {
+    endpoint_.set_client(*this);
+  }
+
+  void on_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void on_view(ViewFn fn) { view_ = std::move(fn); }
+
+  /// Send `payload` in the current view, or queue it if the service has
+  /// blocked us (it will be sent in the next view). Returns true if it was
+  /// sent immediately.
+  bool send(std::string payload) {
+    if (blocked_) {
+      pending_.push_back(std::move(payload));
+      return false;
+    }
+    endpoint_.send(std::move(payload));
+    return true;
+  }
+
+  bool blocked() const { return blocked_; }
+  std::size_t pending() const { return pending_.size(); }
+
+  // gcs::Client
+  void deliver(ProcessId from, const gcs::AppMsg& msg) override {
+    if (deliver_) deliver_(from, msg);
+  }
+
+  void view(const View& v, const std::set<ProcessId>& transitional) override {
+    blocked_ = false;
+    if (view_) view_(v, transitional);
+    std::deque<std::string> queued;
+    queued.swap(pending_);
+    for (std::string& payload : queued) send(std::move(payload));
+  }
+
+  void block() override {
+    blocked_ = true;
+    endpoint_.block_ok();
+  }
+
+ private:
+  gcs::GcsEndpoint& endpoint_;
+  DeliverFn deliver_;
+  ViewFn view_;
+  bool blocked_ = false;
+  std::deque<std::string> pending_;
+};
+
+}  // namespace vsgc::app

@@ -1,0 +1,132 @@
+// World: one-call construction of a complete simulated deployment — network,
+// membership servers, client processes with GCS end-points and blocking
+// clients, spec checkers on the trace bus (paper Figure 1's architecture).
+//
+// Tests, benchmarks, and examples all build on this harness.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "app/blocking_client.hpp"
+#include "gcs/process.hpp"
+#include "membership/membership_server.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "spec/all_checkers.hpp"
+#include "util/rng.hpp"
+
+namespace vsgc::app {
+
+struct WorldConfig {
+  int num_clients = 3;
+  int num_servers = 1;
+  std::uint64_t seed = 1;
+  net::Network::Config net;
+  transport::CoRfifoTransport::Config transport;
+  membership::MembershipServer::Config server;
+  membership::MembershipClient::Config client;
+  gcs::ForwardingKind forwarding = gcs::ForwardingKind::kMinCopies;
+  gcs::SyncRouting sync_routing;  ///< direct by default
+  bool attach_checkers = true;
+  bool record_trace = true;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config) : config_(config) {
+    network_ = std::make_unique<net::Network>(sim_, Rng(config.seed),
+                                              config.net);
+    if (config.record_trace) trace_.set_recording(true);
+    if (config.attach_checkers) checkers_.attach(trace_);
+
+    std::set<ServerId> server_ids;
+    for (int s = 0; s < config.num_servers; ++s) {
+      server_ids.insert(ServerId{static_cast<std::uint32_t>(s)});
+    }
+    for (ServerId s : server_ids) {
+      servers_.push_back(std::make_unique<membership::MembershipServer>(
+          sim_, *network_, s, server_ids, config.server));
+    }
+
+    for (int i = 0; i < config.num_clients; ++i) {
+      const ProcessId p{static_cast<std::uint32_t>(i + 1)};
+      const ServerId s{static_cast<std::uint32_t>(i % config.num_servers)};
+      gcs::Process::Config pc;
+      pc.transport = config.transport;
+      pc.membership = config.client;
+      pc.forwarding = config.forwarding;
+      auto proc = std::make_unique<gcs::Process>(sim_, *network_, p, s,
+                                                 &trace_, pc);
+      proc->endpoint().set_sync_routing(config.sync_routing);
+      // Clients become alive at their server on first heartbeat, so a
+      // process that is never start()ed stays out of every view (late-join
+      // tests and examples rely on this).
+      servers_[s.value]->add_client(p, /*initially_alive=*/false);
+      clients_.push_back(std::make_unique<BlockingClient>(proc->endpoint()));
+      processes_.push_back(std::move(proc));
+    }
+  }
+
+  /// Start servers and processes; run with run_for().
+  void start() {
+    for (auto& s : servers_) s->start();
+    for (auto& p : processes_) p->start();
+  }
+
+  void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+
+  /// True once every live process's GCS delivered the same view covering
+  /// exactly the given members.
+  bool converged(const std::set<ProcessId>& members) const {
+    const View* seen = nullptr;
+    for (const auto& p : processes_) {
+      if (!members.contains(p->id())) continue;
+      if (p->crashed()) return false;
+      const View& cv = p->endpoint().current_view();
+      if (cv.members != members) return false;
+      if (seen != nullptr && !(*seen == cv)) return false;
+      seen = &cv;
+    }
+    return seen != nullptr;
+  }
+
+  /// Run until converged(members) or the deadline; returns success.
+  bool run_until_converged(const std::set<ProcessId>& members,
+                           sim::Time deadline_from_now) {
+    const sim::Time deadline = sim_.now() + deadline_from_now;
+    while (sim_.now() < deadline) {
+      run_for(10 * sim::kMillisecond);
+      if (converged(members)) return true;
+    }
+    return converged(members);
+  }
+
+  std::set<ProcessId> all_members() const {
+    std::set<ProcessId> out;
+    for (const auto& p : processes_) out.insert(p->id());
+    return out;
+  }
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return *network_; }
+  spec::TraceBus& trace() { return trace_; }
+  spec::AllCheckers& checkers() { return checkers_; }
+  membership::MembershipServer& server(int i) { return *servers_.at(i); }
+  gcs::Process& process(int i) { return *processes_.at(i); }
+  BlockingClient& client(int i) { return *clients_.at(i); }
+  int num_clients() const { return static_cast<int>(processes_.size()); }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+
+ private:
+  WorldConfig config_;
+  sim::Simulator sim_;
+  spec::TraceBus trace_;
+  spec::AllCheckers checkers_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<membership::MembershipServer>> servers_;
+  std::vector<std::unique_ptr<gcs::Process>> processes_;
+  std::vector<std::unique_ptr<BlockingClient>> clients_;
+};
+
+}  // namespace vsgc::app

@@ -1,0 +1,41 @@
+// Application message as seen by the GCS service interface.
+//
+// `uid` is a per-sender monotone counter assigned at send_p(m) time. It gives
+// every application message a global identity (sender, uid) so that the spec
+// checkers can compare "the i'th message delivered from q in view v" against
+// "the i'th message q sent in v" without relying on payload uniqueness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/ids.hpp"
+#include "util/serialization.hpp"
+
+namespace vsgc::gcs {
+
+struct AppMsg {
+  ProcessId sender;
+  std::uint64_t uid = 0;
+  std::string payload;
+
+  friend bool operator==(const AppMsg&, const AppMsg&) = default;
+
+  void encode(Encoder& enc) const {
+    enc.put_process(sender);
+    enc.put_u64(uid);
+    enc.put_string(payload);
+  }
+
+  static AppMsg decode(Decoder& dec) {
+    AppMsg m;
+    m.sender = dec.get_process();
+    m.uid = dec.get_u64();
+    m.payload = dec.get_string();
+    return m;
+  }
+
+  std::size_t wire_size() const { return 4 + 8 + 4 + payload.size(); }
+};
+
+}  // namespace vsgc::gcs

@@ -1,0 +1,47 @@
+#include "gcs/gcs_endpoint.hpp"
+
+namespace vsgc::gcs {
+
+GcsEndpoint::GcsEndpoint(sim::Simulator& sim,
+                         transport::CoRfifoTransport& transport,
+                         ProcessId self,
+                         std::unique_ptr<ForwardingStrategy> strategy,
+                         spec::TraceBus* trace)
+    : VsRfifoTsEndpoint(sim, transport, self, std::move(strategy), trace) {}
+
+void GcsEndpoint::block_ok() {
+  if (crashed_) return;
+  block_status_ = BlockStatus::kBlocked;
+  emit(spec::GcsBlockOk{self_});
+  pump();
+}
+
+bool GcsEndpoint::try_block() {
+  // block_p(): pre start_change ≠ ⊥ ∧ block_status = unblocked.
+  if (!start_change() || block_status_ != BlockStatus::kUnblocked) {
+    return false;
+  }
+  block_status_ = BlockStatus::kRequested;
+  emit(spec::GcsBlock{self_});
+  if (client_ != nullptr) client_->block();  // may call block_ok() re-entrantly
+  return true;
+}
+
+bool GcsEndpoint::run_child_tasks() {
+  bool progress = try_block();
+  progress |= VsRfifoTsEndpoint::run_child_tasks();
+  return progress;
+}
+
+void GcsEndpoint::pre_view_effects(const View& v) {
+  // Child effects precede the parent's (inheritance construct of [26]).
+  block_status_ = BlockStatus::kUnblocked;
+  VsRfifoTsEndpoint::pre_view_effects(v);
+}
+
+void GcsEndpoint::reset_child_state() {
+  block_status_ = BlockStatus::kUnblocked;
+  VsRfifoTsEndpoint::reset_child_state();
+}
+
+}  // namespace vsgc::gcs

@@ -1,0 +1,49 @@
+// GCS end-point automaton (paper Figure 11): VS_RFIFO+TS+SD.
+//
+// Adds Self Delivery to VsRfifoTsEndpoint by blocking the application during
+// reconfiguration (proven necessary in [19]): after the first start_change in
+// a view, the end-point issues block() to its client and withholds its
+// synchronization message until the client answers block_ok(). The cut it
+// then commits therefore covers every message the application sent in the
+// current view, so all of them are delivered before the next view.
+//
+// Through inheritance this final automaton satisfies all four safety
+// specifications (WV_RFIFO, VS_RFIFO, TRANS_SET, SELF) plus the conditional
+// liveness Property 4.2.
+#pragma once
+
+#include "gcs/vs_rfifo_ts_endpoint.hpp"
+
+namespace vsgc::gcs {
+
+enum class BlockStatus { kUnblocked, kRequested, kBlocked };
+
+class GcsEndpoint : public VsRfifoTsEndpoint {
+ public:
+  GcsEndpoint(sim::Simulator& sim, transport::CoRfifoTransport& transport,
+              ProcessId self, std::unique_ptr<ForwardingStrategy> strategy,
+              spec::TraceBus* trace = nullptr);
+
+  /// Input block_ok_p(): the client acknowledges the block request and will
+  /// not send again until the next view is delivered.
+  void block_ok();
+
+  BlockStatus block_status() const { return block_status_; }
+
+ protected:
+  bool sync_send_allowed() const override {
+    // Figure 11: co_rfifo.send(sync_msg) pre: block_status = blocked.
+    return block_status_ == BlockStatus::kBlocked;
+  }
+
+  bool run_child_tasks() override;
+  void pre_view_effects(const View& v) override;
+  void reset_child_state() override;
+
+ private:
+  bool try_block();
+
+  BlockStatus block_status_ = BlockStatus::kUnblocked;
+};
+
+}  // namespace vsgc::gcs

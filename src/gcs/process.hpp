@@ -1,0 +1,101 @@
+// Process: the deployable unit — one client process hosting a GCS end-point,
+// its CO_RFIFO transport, and its membership-client proxy (Figure 1 / 8(a)).
+//
+// The Process wires the CO_RFIFO delivery stream to both consumers
+// (membership wire messages go to the proxy; GCS wire messages go to the
+// end-point) and implements whole-process crash/recovery (Section 8).
+#pragma once
+
+#include <memory>
+
+#include "gcs/gcs_endpoint.hpp"
+#include "membership/membership_client.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "spec/events.hpp"
+
+namespace vsgc::gcs {
+
+enum class ForwardingKind { kSimple, kMinCopies };
+
+inline std::unique_ptr<ForwardingStrategy> make_strategy(ForwardingKind kind) {
+  switch (kind) {
+    case ForwardingKind::kSimple:
+      return std::make_unique<SimpleForwardingStrategy>();
+    case ForwardingKind::kMinCopies:
+      return std::make_unique<MinCopiesForwardingStrategy>();
+  }
+  return nullptr;
+}
+
+class Process {
+ public:
+  struct Config {
+    transport::CoRfifoTransport::Config transport;
+    membership::MembershipClient::Config membership;
+    ForwardingKind forwarding = ForwardingKind::kMinCopies;
+  };
+
+  Process(sim::Simulator& sim, net::Network& network, ProcessId self,
+          ServerId server, spec::TraceBus* trace, Config config)
+      : self_(self) {
+    transport_ = std::make_unique<transport::CoRfifoTransport>(
+        sim, network, net::node_of(self), config.transport);
+    endpoint_ = std::make_unique<GcsEndpoint>(
+        sim, *transport_, self, make_strategy(config.forwarding), trace);
+    membership_ = std::make_unique<membership::MembershipClient>(
+        sim, *transport_, self, server, config.membership);
+    membership_->add_listener(*endpoint_);
+    transport_->set_deliver_handler(
+        [this](net::NodeId from, const std::any& payload) {
+          if (membership_->handle(from, payload)) return;
+          if (net::is_server_node(from)) return;  // unknown server traffic
+          endpoint_->on_co_rfifo_deliver(net::process_of(from), payload);
+        });
+    transport_->set_raw_handler(
+        [this](net::NodeId from, const std::any& payload) {
+          membership_->handle(from, payload);
+        });
+  }
+
+  Process(sim::Simulator& sim, net::Network& network, ProcessId self,
+          ServerId server, spec::TraceBus* trace = nullptr)
+      : Process(sim, network, self, server, trace, Config()) {}
+
+  /// Begin heartbeating to the membership server (attaches the process).
+  void start() { membership_->start(); }
+
+  /// Graceful departure: the group reconfigures without waiting for the
+  /// failure detector; start() re-joins later.
+  void leave() { membership_->leave(); }
+
+  /// Section 8: full-process crash — GCS end-point, client proxy, and
+  /// transport all stop; nothing is kept on stable storage.
+  void crash() {
+    endpoint_->crash();
+    membership_->crash();
+    transport_->crash();
+  }
+
+  void recover() {
+    transport_->recover();
+    endpoint_->recover();
+    membership_->recover();
+  }
+
+  bool crashed() const { return endpoint_->crashed(); }
+
+  GcsEndpoint& endpoint() { return *endpoint_; }
+  const GcsEndpoint& endpoint() const { return *endpoint_; }
+  transport::CoRfifoTransport& transport() { return *transport_; }
+  membership::MembershipClient& membership() { return *membership_; }
+  ProcessId id() const { return self_; }
+
+ private:
+  ProcessId self_;
+  std::unique_ptr<transport::CoRfifoTransport> transport_;
+  std::unique_ptr<GcsEndpoint> endpoint_;
+  std::unique_ptr<membership::MembershipClient> membership_;
+};
+
+}  // namespace vsgc::gcs

@@ -1,0 +1,190 @@
+// VS_RFIFO+TS end-point automaton (paper Figure 10): extends WV_RFIFO with
+// Virtual Synchrony (agreed cuts) and Transitional Sets.
+//
+// Protocol recap (Section 5.2): on MBRSHP.start_change(cid, set) the
+// end-point reliably sends a synchronization message tagged with its locally
+// unique cid, carrying its current view and a cut — the index of the last
+// message from each sender it commits to deliver before any view v' with
+// v'.startId(self) == cid. When MBRSHP.view(v') arrives, the v'.startId
+// mapping identifies exactly which sync messages to use, so all end-points
+// moving from v to v' compute the same transitional set T and the same
+// agreed cut (max over T's cuts) — in ONE round, run in parallel with the
+// membership round, with no pre-agreed global identifier.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "gcs/wv_rfifo_endpoint.hpp"
+
+namespace vsgc::gcs {
+
+/// A received (or self-recorded) synchronization message.
+struct SyncMsgData {
+  View view;  ///< sender's view when it sent the sync message
+  std::map<ProcessId, std::int64_t> cut;
+
+  std::int64_t cut_of(ProcessId q) const {
+    auto it = cut.find(q);
+    return it == cut.end() ? 0 : it->second;
+  }
+};
+
+/// One forwarding decision: send msgs[orig][view][index] to `dests`.
+struct ForwardAction {
+  std::set<ProcessId> dests;
+  ProcessId orig;
+  View view;
+  std::int64_t index = 0;
+};
+
+class VsRfifoTsEndpoint;
+
+/// How synchronization messages are disseminated.
+///
+/// * kDirect (the paper's Section 5.2 algorithm): every end-point multicasts
+///   its sync message to start_change.set directly — one round, O(n^2)
+///   messages per reconfiguration.
+/// * kTwoTier (the paper's Section 9 future-work extension, after Guo et al.
+///   [22]): each process sends its sync message to its statically designated
+///   leader; the leader relays it, batched, to the other leaders and its own
+///   local members, and leaders forward foreign aggregates to their locals —
+///   O(n·L) messages at the cost of one extra hop. A process whose leader is
+///   absent from the start_change set falls back to direct dissemination, so
+///   liveness never depends on leader placement.
+///
+/// `compact_sync_to_strangers` enables the Section 5.2.4 optimization: a
+/// sync message sent to a process outside the sender's current view carries
+/// no cut (the recipient can never include the sender in its transitional
+/// set, so the cut would never be read).
+struct SyncRouting {
+  enum class Mode { kDirect, kTwoTier };
+
+  Mode mode = Mode::kDirect;
+  std::map<ProcessId, ProcessId> leader_of;  ///< static leader assignment
+  bool compact_sync_to_strangers = false;
+
+  ProcessId leader(ProcessId p) const {
+    auto it = leader_of.find(p);
+    return it == leader_of.end() ? p : it->second;
+  }
+};
+
+/// ForwardingStrategyPredicate (Section 5.2.2), as a pluggable policy.
+class ForwardingStrategy {
+ public:
+  virtual ~ForwardingStrategy() = default;
+  virtual const char* name() const = 0;
+  /// Inspect the end-point state and propose forwards. The end-point itself
+  /// deduplicates against its forwarded_set (one copy per destination).
+  virtual std::vector<ForwardAction> select(const VsRfifoTsEndpoint& ep) = 0;
+};
+
+class VsRfifoTsEndpoint : public WvRfifoEndpoint {
+ public:
+  struct VsStats {
+    std::uint64_t sync_msgs_sent = 0;      ///< per-destination sync copies
+    std::uint64_t sync_msgs_received = 0;
+    std::uint64_t sync_bytes_sent = 0;     ///< sync + aggregate wire bytes
+    std::uint64_t aggregates_relayed = 0;  ///< two-tier leader relays
+    std::uint64_t forwards_sent = 0;       ///< per-destination forwarded copies
+  };
+
+  VsRfifoTsEndpoint(sim::Simulator& sim,
+                    transport::CoRfifoTransport& transport, ProcessId self,
+                    std::unique_ptr<ForwardingStrategy> strategy,
+                    spec::TraceBus* trace = nullptr);
+
+  // ---- Read access for forwarding strategies and tests ----
+
+  const std::optional<std::pair<StartChangeId, std::set<ProcessId>>>&
+  start_change() const {
+    return start_change_;
+  }
+
+  /// sync_msg[q][cid], or nullptr.
+  const SyncMsgData* sync_msg(ProcessId q, StartChangeId cid) const;
+
+  /// The latest (highest-cid) sync message received from q, or nullptr.
+  const SyncMsgData* latest_sync_msg(ProcessId q) const;
+  const std::map<ProcessId, std::map<StartChangeId, SyncMsgData>>& sync_msgs()
+      const {
+    return sync_msgs_;
+  }
+
+  const FifoBuffer& peek_buffer(ProcessId q, ViewId v) const {
+    return buffer(q, v);
+  }
+
+  const VsStats& vs_stats() const { return vs_stats_; }
+
+  /// Configure sync-message dissemination (default: direct all-to-all).
+  void set_sync_routing(SyncRouting routing) { routing_ = std::move(routing); }
+  const SyncRouting& sync_routing() const { return routing_; }
+
+  /// The transitional set this end-point would deliver with MBRSHP view v
+  /// right now: {q in v.set ∩ current_view.set |
+  ///             sync_msg[q][v.startId(q)].view == current_view}.
+  std::set<ProcessId> compute_transitional(const View& v) const;
+
+ protected:
+  // Inheritance hooks from WvRfifoEndpoint (transition restrictions of
+  // Figure 10).
+  std::set<ProcessId> desired_reliable_set() const override;
+  bool deliver_allowed(ProcessId q, std::int64_t next_index) const override;
+  bool view_gate(const View& v, std::set<ProcessId>& transitional) override;
+  void pre_view_effects(const View& v) override;
+  bool run_child_tasks() override;
+  bool handle_child_message(ProcessId from, const std::any& payload) override;
+  void handle_start_change(StartChangeId cid,
+                           const std::set<ProcessId>& set) override;
+  void reset_child_state() override;
+
+  /// Hook for the Self Delivery child (Figure 11): gate on block status.
+  virtual bool sync_send_allowed() const { return true; }
+
+ private:
+  bool try_send_sync_msg();
+  bool try_forward();
+  void store_sync(ProcessId from, const wire::SyncMsg& sync);
+  void relay_as_leader(ProcessId origin, const wire::SyncMsg& sync);
+  /// Two-tier relay fan-out for a leader: other present leaders, own local
+  /// members, and orphans (processes whose leader is absent).
+  std::set<ProcessId> relay_dests(const std::set<ProcessId>& change_set) const;
+
+  std::unique_ptr<ForwardingStrategy> strategy_;
+  SyncRouting routing_;
+  VsStats vs_stats_;
+
+  // ---- Figure 10 state extension ----
+  std::optional<std::pair<StartChangeId, std::set<ProcessId>>> start_change_;
+  std::map<ProcessId, std::map<StartChangeId, SyncMsgData>> sync_msgs_;
+  /// forwarded_set: (dest, orig, view, index) tuples already forwarded.
+  std::set<std::tuple<ProcessId, ProcessId, ViewId, std::int64_t>>
+      forwarded_set_;
+};
+
+/// Section 5.2.2, first strategy: forward every committed message a peer's
+/// latest same-view sync message shows as missing. Simple; may send
+/// multiple copies of the same message from different end-points.
+class SimpleForwardingStrategy final : public ForwardingStrategy {
+ public:
+  const char* name() const override { return "simple"; }
+  std::vector<ForwardAction> select(const VsRfifoTsEndpoint& ep) override;
+};
+
+/// Section 5.2.2, second strategy: once the membership view and all relevant
+/// sync messages are known, the transitional-set member with the minimum id
+/// among those holding a message forwards it — usually exactly one copy.
+class MinCopiesForwardingStrategy final : public ForwardingStrategy {
+ public:
+  const char* name() const override { return "min-copies"; }
+  std::vector<ForwardAction> select(const VsRfifoTsEndpoint& ep) override;
+};
+
+}  // namespace vsgc::gcs

@@ -1,0 +1,40 @@
+#include "membership/membership_client.hpp"
+
+#include "util/logging.hpp"
+
+namespace vsgc::membership {
+
+bool MembershipClient::handle(net::NodeId from, const std::any& payload) {
+  if (!net::is_server_node(from)) return false;
+
+  if (const auto* sc = std::any_cast<wire::StartChange>(&payload)) {
+    if (!running_) return true;
+    // Local uniqueness / monotonicity of cids (guaranteed by the server; the
+    // guard protects against stale duplicates after re-attachment).
+    if (!(last_cid_ < sc->cid)) return true;
+    last_cid_ = sc->cid;
+    VSGC_TRACE("mbr-client", to_string(self_) << " start_change "
+                                              << to_string(sc->cid));
+    for (Listener* l : listeners_) l->on_start_change(sc->cid, sc->set);
+    return true;
+  }
+
+  if (const auto* vd = std::any_cast<wire::ViewDelivery>(&payload)) {
+    if (!running_) return true;
+    const View& v = vd->view;
+    if (!(last_view_id_ < v.id)) return true;  // Local Monotonicity
+    if (!v.contains(self_)) return true;       // Self Inclusion guard
+    // The MBRSHP spec requires a start_change before every view; the view's
+    // startId for us must be the latest cid we saw.
+    if (v.start_id_of(self_) != last_cid_) return true;
+    last_view_id_ = v.id;
+    VSGC_TRACE("mbr-client", to_string(self_) << " view " << to_string(v));
+    for (Listener* l : listeners_) l->on_view(v);
+    return true;
+  }
+
+  if (std::any_cast<wire::Heartbeat>(&payload) != nullptr) return true;
+  return false;
+}
+
+}  // namespace vsgc::membership

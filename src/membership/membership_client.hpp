@@ -1,0 +1,108 @@
+// Client-side membership proxy.
+//
+// Runs at every client process, sharing the process's CO_RFIFO transport. It
+// heartbeats to the process's designated membership server (the heartbeat
+// doubles as an attach request) and converts incoming StartChange /
+// ViewDelivery wire messages into the Listener interface consumed by the GCS
+// end-point. It enforces the client side of Local Monotonicity: views with
+// non-increasing identifiers (possible transiently when re-attaching after
+// recovery) are dropped rather than delivered out of order.
+#pragma once
+
+#include <any>
+#include <vector>
+
+#include "membership/interface.hpp"
+#include "membership/wire.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "transport/co_rfifo.hpp"
+
+namespace vsgc::membership {
+
+class MembershipClient {
+ public:
+  struct Config {
+    sim::Time heartbeat_interval = 50 * sim::kMillisecond;
+  };
+
+  MembershipClient(sim::Simulator& sim, transport::CoRfifoTransport& transport,
+                   ProcessId self, ServerId server, Config config)
+      : sim_(sim),
+        transport_(transport),
+        self_(self),
+        server_(server),
+        config_(config) {}
+  MembershipClient(sim::Simulator& sim, transport::CoRfifoTransport& transport,
+                   ProcessId self, ServerId server)
+      : MembershipClient(sim, transport, self, server, Config()) {}
+
+  ~MembershipClient() { heartbeat_timer_.cancel(); }
+
+  void add_listener(Listener& listener) { listeners_.push_back(&listener); }
+
+  /// Begin heartbeating (and thereby attach to the server).
+  void start() {
+    if (running_) return;
+    running_ = true;
+    // Fresh incarnation per life (Section 8): lets the server detect a
+    // crash/recovery blip even when the failure detector missed it.
+    incarnation_ = static_cast<std::uint64_t>(sim_.now()) * 2 + 1;
+    heartbeat_tick();
+  }
+
+  /// Returns true if the payload was a membership wire message (consumed).
+  bool handle(net::NodeId from, const std::any& payload);
+
+  /// Graceful departure: tell the server immediately (no failure-detector
+  /// timeout) and stop heartbeating. start() re-attaches later.
+  void leave() {
+    if (!running_) return;
+    wire::Leave notice{self_};
+    transport_.send_raw(net::node_of(server_), std::any(notice),
+                        wire::Leave::kWireSize);
+    running_ = false;
+    heartbeat_timer_.cancel();
+  }
+
+  /// Section 8 crash/recovery: state resets, but the server retains ids, so
+  /// post-recovery notifications still satisfy Local Monotonicity.
+  void crash() {
+    running_ = false;
+    heartbeat_timer_.cancel();
+  }
+
+  void recover() {
+    last_view_id_ = ViewId::zero();
+    last_cid_ = StartChangeId::zero();
+    start();
+  }
+
+  ProcessId self() const { return self_; }
+  ServerId server() const { return server_; }
+
+ private:
+  void heartbeat_tick() {
+    if (!running_) return;
+    wire::Heartbeat hb{/*from_server=*/false, self_.value, incarnation_};
+    transport_.send_raw(net::node_of(server_), std::any(hb),
+                        wire::Heartbeat::kWireSize);
+    heartbeat_timer_ = sim_.schedule(config_.heartbeat_interval,
+                                     [this]() { heartbeat_tick(); });
+  }
+
+  sim::Simulator& sim_;
+  transport::CoRfifoTransport& transport_;
+  ProcessId self_;
+  ServerId server_;
+  Config config_;
+
+  std::vector<Listener*> listeners_;
+  ViewId last_view_id_ = ViewId::zero();
+  StartChangeId last_cid_ = StartChangeId::zero();
+  std::uint64_t incarnation_ = 0;
+  bool running_ = false;
+  sim::TimerHandle heartbeat_timer_;
+};
+
+}  // namespace vsgc::membership

@@ -1,0 +1,266 @@
+#include "membership/membership_server.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace vsgc::membership {
+
+MembershipServer::MembershipServer(sim::Simulator& sim, net::Network& network,
+                                   ServerId self, std::set<ServerId> all_servers,
+                                   Config config)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      all_servers_(std::move(all_servers)),
+      config_(config),
+      fd_(sim, config.fd, [this]() { on_estimate_change(); }) {
+  transport_ = std::make_unique<transport::CoRfifoTransport>(
+      sim_, network_, net::node_of(self_));
+  transport_->set_deliver_handler(
+      [this](net::NodeId from, const std::any& payload) {
+        on_deliver(from, payload);
+      });
+  transport_->set_raw_handler(
+      [this](net::NodeId from, const std::any& payload) {
+        on_raw(from, payload);
+      });
+  for (ServerId s : all_servers_) {
+    if (s != self_) fd_.monitor(net::node_of(s), /*initially_alive=*/true);
+  }
+}
+
+void MembershipServer::add_client(ProcessId p, bool initially_alive) {
+  clients_.try_emplace(p);
+  fd_.monitor(net::node_of(p), initially_alive);
+}
+
+void MembershipServer::start() {
+  fd_.start();
+  heartbeat_tick();
+  // Kick off the initial round once the world is wired up.
+  sim_.schedule(1, [this]() {
+    reconfigure();
+    try_form();
+  });
+}
+
+void MembershipServer::heartbeat_tick() {
+  wire::Heartbeat hb{/*from_server=*/true, self_.value};
+  for (ServerId s : all_servers_) {
+    if (s != self_) {
+      transport_->send_raw(net::node_of(s), std::any(hb),
+                           wire::Heartbeat::kWireSize);
+    }
+  }
+  heartbeat_timer_ = sim_.schedule(config_.heartbeat_interval,
+                                   [this]() { heartbeat_tick(); });
+}
+
+std::set<ProcessId> MembershipServer::alive_local_clients() const {
+  std::set<ProcessId> out;
+  for (const auto& [p, rec] : clients_) {
+    if (fd_.alive(net::node_of(p))) out.insert(p);
+  }
+  return out;
+}
+
+std::set<ServerId> MembershipServer::alive_servers() const {
+  std::set<ServerId> out = {self_};
+  for (ServerId s : all_servers_) {
+    if (s != self_ && fd_.alive(net::node_of(s))) out.insert(s);
+  }
+  return out;
+}
+
+std::set<ProcessId> MembershipServer::estimate() const {
+  std::set<ProcessId> est = alive_local_clients();
+  for (ServerId s : alive_servers()) {
+    if (s == self_) continue;
+    auto it = proposals_.find(s);
+    if (it == proposals_.end()) continue;
+    est.insert(it->second.local_alive.begin(), it->second.local_alive.end());
+  }
+  return est;
+}
+
+void MembershipServer::update_reliable_set() {
+  std::set<net::NodeId> set;
+  for (ServerId s : alive_servers()) set.insert(net::node_of(s));
+  for (ProcessId p : alive_local_clients()) set.insert(net::node_of(p));
+  transport_->set_reliable(set);
+}
+
+void MembershipServer::on_estimate_change() {
+  update_reliable_set();
+  reconfigure();
+  try_form();
+}
+
+void MembershipServer::reconfigure(std::uint64_t min_round) {
+  ++stats_.rounds_started;
+  round_ = std::max({round_ + 1, min_round, last_epoch_ + 1});
+
+  const std::set<ProcessId> local = alive_local_clients();
+  const std::set<ServerId> participants = alive_servers();
+
+  // The (immutable) proposal for this round: fresh cids for local clients.
+  wire::Proposal prop;
+  prop.from = self_;
+  prop.round = round_;
+  prop.local_alive = local;
+  prop.participants = participants;
+  for (ProcessId p : local) {
+    auto& rec = clients_[p];
+    rec.last_cid = StartChangeId{rec.last_cid.value + 1};
+    prop.cids[p] = rec.last_cid;
+  }
+  proposals_[self_] = prop;
+
+  // start_change to every alive local client, with the current estimate.
+  const std::set<ProcessId> est = estimate();
+  for (ProcessId p : local) {
+    auto& rec = clients_[p];
+    rec.last_sc_set = est;
+    rec.change_started = true;
+    wire::StartChange sc{rec.last_cid, est};
+    ++stats_.start_changes_sent;
+    transport_->send({net::node_of(p)}, std::any(sc), sc.wire_size());
+  }
+
+  // Proposal to all other participant servers.
+  std::set<net::NodeId> peers;
+  for (ServerId s : participants) {
+    if (s != self_) peers.insert(net::node_of(s));
+  }
+  if (!peers.empty()) {
+    ++stats_.proposals_sent;
+    transport_->send(peers, std::any(prop), prop.wire_size());
+  }
+}
+
+void MembershipServer::on_raw(net::NodeId from, const std::any& payload) {
+  if (const auto* leave = std::any_cast<wire::Leave>(&payload)) {
+    if (!net::is_server_node(from) && clients_.contains(leave->who) &&
+        net::process_of(from) == leave->who) {
+      fd_.suspect(from);  // triggers on_estimate_change via the FD callback
+    }
+    return;
+  }
+  const auto* hb = std::any_cast<wire::Heartbeat>(&payload);
+  if (hb == nullptr) return;
+  if (!hb->from_server && !net::is_server_node(from)) {
+    const ProcessId p = net::process_of(from);
+    if (!clients_.contains(p)) add_client(p, /*initially_alive=*/false);
+    auto& rec = clients_.at(p);
+    if (rec.incarnation != hb->incarnation) {
+      const bool restarted = rec.incarnation != 0;
+      rec.incarnation = hb->incarnation;
+      if (restarted) {
+        // The client crashed and recovered without the failure detector
+        // noticing (Section 8 blip). Its end-point state is gone; run a
+        // fresh round so it receives a new, monotonically larger view.
+        fd_.heard(from);
+        reconfigure();
+        try_form();
+        return;
+      }
+    }
+  }
+  fd_.heard(from);
+}
+
+void MembershipServer::on_deliver(net::NodeId from, const std::any& payload) {
+  fd_.heard(from);
+  if (const auto* prop = std::any_cast<wire::Proposal>(&payload)) {
+    auto it = proposals_.find(prop->from);
+    if (it != proposals_.end() && prop->round <= it->second.round) {
+      return;  // stale round
+    }
+    const bool membership_changed =
+        it == proposals_.end() || it->second.local_alive != prop->local_alive;
+    proposals_[prop->from] = *prop;
+    if (prop->round > round_) {
+      // A peer is ahead: catch up by proposing for its round (fresh
+      // start_changes included, so the MBRSHP contract stays intact).
+      reconfigure(prop->round);
+    } else if (membership_changed) {
+      // The global estimate moved: new round so local clients get a
+      // start_change covering the new estimate before any view delivery.
+      reconfigure();
+    }
+    try_form();
+  }
+}
+
+void MembershipServer::try_form() {
+  const std::set<ServerId> participants = alive_servers();
+
+  // Our own round-`round_` proposal must reflect the current FD output and
+  // local clients; otherwise this round can never legally complete.
+  const auto own = proposals_.find(self_);
+  if (own == proposals_.end() || own->second.round != round_ ||
+      own->second.participants != participants ||
+      own->second.local_alive != alive_local_clients()) {
+    reconfigure();
+  }
+
+  // Round completion: every participant proposed for round_ with the same
+  // participant set.
+  for (ServerId s : participants) {
+    auto it = proposals_.find(s);
+    if (it == proposals_.end() || it->second.round != round_ ||
+        it->second.participants != participants) {
+      return;  // round incomplete; wait for more proposals
+    }
+  }
+  if (last_epoch_ >= round_) return;  // this round's view already formed
+
+  // Deterministic view from the (unique) round-`round_` proposal set.
+  View v;
+  for (ServerId s : participants) {
+    const wire::Proposal& prop = proposals_.at(s);
+    for (ProcessId p : prop.local_alive) {
+      v.members.insert(p);
+      v.start_id[p] = prop.cids.at(p);
+    }
+  }
+  v.id = ViewId{round_, participants.begin()->value};
+  if (v.members.empty()) return;
+
+  // MBRSHP spec validation for our local clients: the view must reflect the
+  // latest start_change each of them received. If the estimate drifted, run
+  // another round instead of delivering a stale notification.
+  for (const auto& [p, rec] : clients_) {
+    if (!v.members.contains(p) || !fd_.alive(net::node_of(p))) continue;
+    const bool ok = rec.change_started &&
+                    std::includes(rec.last_sc_set.begin(), rec.last_sc_set.end(),
+                                  v.members.begin(), v.members.end()) &&
+                    rec.last_cid == v.start_id.at(p);
+    if (!ok) {
+      ++stats_.obsolete_views_suppressed;
+      reconfigure();
+      return;
+    }
+  }
+
+  deliver_view(v);
+}
+
+void MembershipServer::deliver_view(const View& v) {
+  ++stats_.views_formed;
+  last_formed_ = v;
+  last_epoch_ = std::max(last_epoch_, v.id.epoch);
+  for (auto& [p, rec] : clients_) {
+    if (!v.members.contains(p) || !fd_.alive(net::node_of(p))) continue;
+    if (!(rec.last_view_id < v.id)) continue;  // Local Monotonicity guard
+    rec.last_view_id = v.id;
+    rec.change_started = false;
+    wire::ViewDelivery vd{v};
+    transport_->send({net::node_of(p)}, std::any(vd), vd.wire_size());
+  }
+  VSGC_TRACE("mbrshp", to_string(self_) << " formed " << to_string(v));
+}
+
+}  // namespace vsgc::membership

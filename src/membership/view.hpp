@@ -1,0 +1,78 @@
+// Views, as defined in Figure 2 of the paper:
+//   View : ViewId x SetOf(Proc) x (Proc -> StartChangeId)
+//
+// The startId component maps each member to the identifier of the last
+// start_change that member received before receiving the view. Two views are
+// the same iff all three components are identical — this is what lets the
+// virtual synchrony algorithm skip pre-agreement on a global identifier.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/ids.hpp"
+#include "util/serialization.hpp"
+
+namespace vsgc {
+
+struct View {
+  ViewId id;
+  std::set<ProcessId> members;
+  std::map<ProcessId, StartChangeId> start_id;
+
+  /// The paper's initial view v_p = <vid0, {p}, {(p -> cid0)}>.
+  static View initial(ProcessId p) {
+    View v;
+    v.id = ViewId::zero();
+    v.members = {p};
+    v.start_id = {{p, StartChangeId::zero()}};
+    return v;
+  }
+
+  bool contains(ProcessId p) const { return members.contains(p); }
+
+  /// startId(p); requires p to be a member.
+  StartChangeId start_id_of(ProcessId p) const {
+    auto it = start_id.find(p);
+    return it == start_id.end() ? StartChangeId::zero() : it->second;
+  }
+
+  // Two views are the same iff all three components are identical (paper
+  // Section 3.1). The ordering is lexicographic, used only for map keys.
+  friend bool operator==(const View&, const View&) = default;
+  friend auto operator<=>(const View&, const View&) = default;
+
+  void encode(Encoder& enc) const {
+    enc.put_view_id(id);
+    enc.put_process_set(members);
+    enc.put_u32(static_cast<std::uint32_t>(start_id.size()));
+    for (const auto& [p, cid] : start_id) {
+      enc.put_process(p);
+      enc.put_start_change_id(cid);
+    }
+  }
+
+  static View decode(Decoder& dec) {
+    View v;
+    v.id = dec.get_view_id();
+    v.members = dec.get_process_set();
+    const std::uint32_t n = dec.get_u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ProcessId p = dec.get_process();
+      v.start_id[p] = dec.get_start_change_id();
+    }
+    return v;
+  }
+
+  /// Serialized size in bytes (for benchmark byte accounting).
+  std::size_t wire_size() const {
+    Encoder enc;
+    encode(enc);
+    return enc.size();
+  }
+};
+
+std::string to_string(const View& v);
+
+}  // namespace vsgc

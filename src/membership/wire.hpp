@@ -1,0 +1,172 @@
+// Wire messages of the client-server membership protocol (our Moshe-style
+// [27] implementation of the MBRSHP spec). Each carries a binary codec; the
+// round-trip is validated by tests/codec_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "membership/view.hpp"
+#include "util/ids.hpp"
+#include "util/serialization.hpp"
+
+namespace vsgc::membership::wire {
+
+enum class Tag : std::uint8_t {
+  kStartChange = 16,
+  kViewDelivery = 17,
+  kProposal = 18,
+  kHeartbeat = 19,
+  kLeave = 20,
+};
+
+/// Server -> client: the membership service is attempting to form a new view.
+struct StartChange {
+  StartChangeId cid;
+  std::set<ProcessId> set;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(Tag::kStartChange));
+    enc.put_start_change_id(cid);
+    enc.put_process_set(set);
+  }
+
+  static StartChange decode(Decoder& dec) {
+    StartChange sc;
+    sc.cid = dec.get_start_change_id();
+    sc.set = dec.get_process_set();
+    return sc;
+  }
+
+  std::size_t wire_size() const {
+    Encoder enc;
+    encode(enc);
+    return enc.size();
+  }
+
+  friend bool operator==(const StartChange&, const StartChange&) = default;
+};
+
+/// Server -> client: the agreed-upon new view.
+struct ViewDelivery {
+  View view;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(Tag::kViewDelivery));
+    view.encode(enc);
+  }
+
+  static ViewDelivery decode(Decoder& dec) {
+    return ViewDelivery{View::decode(dec)};
+  }
+
+  std::size_t wire_size() const { return 1 + view.wire_size(); }
+
+  friend bool operator==(const ViewDelivery&, const ViewDelivery&) = default;
+};
+
+/// Server -> server: round-tagged membership proposal. A proposal doubles as
+/// the proposer's connectivity estimate: `local_alive` is the set of this
+/// server's clients it currently believes alive.
+///
+/// `round` identifies the agreement round. A server issues AT MOST ONE
+/// proposal per round, so the set {proposal(s, r) | s in participants} is
+/// globally unique — every server that forms the round-r view computes the
+/// IDENTICAL view (id = (r, min participant), members/startId from the
+/// proposals). This is what makes concurrently formed views collision-free.
+struct Proposal {
+  ServerId from;
+  std::uint64_t round = 0;  ///< agreement round == epoch of the formed view
+  std::set<ProcessId> local_alive;
+  std::map<ProcessId, StartChangeId> cids;  ///< latest start_change ids issued
+  std::set<ServerId> participants;          ///< servers the proposer deems alive
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(Tag::kProposal));
+    enc.put_u32(from.value);
+    enc.put_u64(round);
+    enc.put_process_set(local_alive);
+    enc.put_u32(static_cast<std::uint32_t>(cids.size()));
+    for (const auto& [p, cid] : cids) {
+      enc.put_process(p);
+      enc.put_start_change_id(cid);
+    }
+    enc.put_u32(static_cast<std::uint32_t>(participants.size()));
+    for (ServerId s : participants) enc.put_u32(s.value);
+  }
+
+  static Proposal decode(Decoder& dec) {
+    Proposal p;
+    p.from = ServerId{dec.get_u32()};
+    p.round = dec.get_u64();
+    p.local_alive = dec.get_process_set();
+    const std::uint32_t n = dec.get_u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ProcessId q = dec.get_process();
+      p.cids[q] = dec.get_start_change_id();
+    }
+    const std::uint32_t m = dec.get_u32();
+    for (std::uint32_t i = 0; i < m; ++i) p.participants.insert(ServerId{dec.get_u32()});
+    return p;
+  }
+
+  std::size_t wire_size() const {
+    Encoder enc;
+    encode(enc);
+    return enc.size();
+  }
+
+  friend bool operator==(const Proposal&, const Proposal&) = default;
+};
+
+/// Raw (unreliable) heartbeat; a client heartbeat doubles as attach request.
+///
+/// `incarnation` identifies the sender's current life (Section 8): a client
+/// picks a fresh value on every start/recovery. A server that sees a client's
+/// incarnation change knows the client lost its state — even if the failure
+/// detector never noticed the blip — and starts a fresh membership round so
+/// the client receives a new (monotonically larger) view.
+struct Heartbeat {
+  bool from_server = false;
+  std::uint32_t id = 0;             ///< ProcessId or ServerId value
+  std::uint64_t incarnation = 0;    ///< sender's life identifier
+
+  static constexpr std::size_t kWireSize = 14;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
+    enc.put_u8(from_server ? 1 : 0);
+    enc.put_u32(id);
+    enc.put_u64(incarnation);
+  }
+
+  static Heartbeat decode(Decoder& dec) {
+    Heartbeat hb;
+    hb.from_server = dec.get_u8() != 0;
+    hb.id = dec.get_u32();
+    hb.incarnation = dec.get_u64();
+    return hb;
+  }
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+/// Client -> server (raw): graceful departure; the server excludes the
+/// client immediately instead of waiting out the failure-detector timeout.
+struct Leave {
+  ProcessId who;
+
+  static constexpr std::size_t kWireSize = 5;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(Tag::kLeave));
+    enc.put_process(who);
+  }
+
+  static Leave decode(Decoder& dec) { return Leave{dec.get_process()}; }
+
+  friend bool operator==(const Leave&, const Leave&) = default;
+};
+
+}  // namespace vsgc::membership::wire

@@ -1,0 +1,58 @@
+#include "net/network.hpp"
+
+namespace vsgc::net {
+
+bool Network::link_up(NodeId a, NodeId b) const {
+  if (down_nodes_.contains(a) || down_nodes_.contains(b)) return false;
+  if (down_links_.contains(ordered(a, b))) return false;
+  if (!component_of_.empty()) {
+    const auto ia = component_of_.find(a);
+    const auto ib = component_of_.find(b);
+    const std::uint32_t ca = ia == component_of_.end() ? 0 : ia->second;
+    const std::uint32_t cb = ib == component_of_.end() ? 0 : ib->second;
+    // Component 0 means "unassigned": unassigned nodes reach everyone.
+    if (ca != 0 && cb != 0 && ca != cb) return false;
+  }
+  return true;
+}
+
+void Network::send(NodeId from, NodeId to, std::any payload,
+                   std::size_t wire_size) {
+  ++stats_.packets_sent;
+  stats_.bytes_sent += wire_size;
+
+  if (!link_up(from, to) || (config_.drop_probability > 0.0 &&
+                             rng_.chance(config_.drop_probability))) {
+    ++stats_.packets_dropped;
+    return;
+  }
+
+  sim::Time delay = config_.base_latency;
+  if (config_.jitter > 0) delay += static_cast<sim::Time>(rng_.next_below(
+      static_cast<std::uint64_t>(config_.jitter) + 1));
+
+  sim::Time arrival = sim_.now() + delay;
+  if (config_.fifo_links) {
+    auto& last = last_arrival_[{from, to}];
+    if (arrival <= last) arrival = last + 1;
+    last = arrival;
+  }
+
+  sim_.schedule_at(arrival, [this, from, to, payload = std::move(payload)]() {
+    // Re-check destination health at arrival time: a node that crashed while
+    // the packet was in flight never sees it.
+    if (down_nodes_.contains(to)) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    ++stats_.packets_delivered;
+    it->second(from, payload);
+  });
+}
+
+}  // namespace vsgc::net

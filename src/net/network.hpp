@@ -1,0 +1,108 @@
+// Unreliable datagram network model.
+//
+// This is the lowest substrate: point-to-point best-effort packets with
+// configurable latency, jitter, probabilistic loss, link failures, and
+// partitions. CO_RFIFO (src/transport) builds its reliable FIFO service on
+// top of this, exactly like the paper's implementation built on the reliable
+// datagram service of [36].
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace vsgc::net {
+
+class Network {
+ public:
+  struct Config {
+    sim::Time base_latency = 1 * sim::kMillisecond;
+    sim::Time jitter = 200;            ///< uniform extra delay in [0, jitter]
+    double drop_probability = 0.0;     ///< independent per-packet loss
+    bool fifo_links = true;            ///< never reorder within one link
+  };
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t packets_dropped = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+
+  using Handler = std::function<void(NodeId from, const std::any& payload)>;
+
+  Network(sim::Simulator& sim, Rng rng, Config config)
+      : sim_(sim), rng_(rng), config_(config) {}
+  Network(sim::Simulator& sim, Rng rng) : Network(sim, rng, Config()) {}
+
+  void attach(NodeId node, Handler handler) { handlers_[node] = std::move(handler); }
+  void detach(NodeId node) { handlers_.erase(node); }
+
+  /// Best-effort point-to-point send. `wire_size` feeds byte accounting.
+  void send(NodeId from, NodeId to, std::any payload, std::size_t wire_size = 0);
+
+  // --- Fault injection -----------------------------------------------------
+
+  void set_node_up(NodeId node, bool up) {
+    if (up) down_nodes_.erase(node);
+    else down_nodes_.insert(node);
+  }
+  bool node_up(NodeId node) const { return !down_nodes_.contains(node); }
+
+  /// Symmetric link control; a downed link drops packets in both directions.
+  void set_link_up(NodeId a, NodeId b, bool up) {
+    const auto key = ordered(a, b);
+    if (up) down_links_.erase(key);
+    else down_links_.insert(key);
+  }
+
+  /// Partition the network into disjoint components; packets between
+  /// components are dropped. Nodes not listed stay reachable to everyone.
+  void partition(const std::vector<std::set<NodeId>>& components) {
+    component_of_.clear();
+    std::uint32_t idx = 1;
+    for (const auto& comp : components) {
+      for (NodeId n : comp) component_of_[n] = idx;
+      ++idx;
+    }
+  }
+
+  /// Remove the partition and all individual link failures.
+  void heal() {
+    component_of_.clear();
+    down_links_.clear();
+  }
+
+  bool link_up(NodeId a, NodeId b) const;
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+  void set_drop_probability(double p) { config_.drop_probability = p; }
+
+ private:
+  static std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  Config config_;
+  Stats stats_;
+
+  std::map<NodeId, Handler> handlers_;
+  std::set<NodeId> down_nodes_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;
+  std::map<NodeId, std::uint32_t> component_of_;
+  std::map<std::pair<NodeId, NodeId>, sim::Time> last_arrival_;
+};
+
+}  // namespace vsgc::net

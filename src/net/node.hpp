@@ -1,0 +1,45 @@
+// Network node identity. Clients (GCS end-points) and membership servers all
+// occupy the same flat datagram address space.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/ids.hpp"
+
+namespace vsgc::net {
+
+struct NodeId {
+  std::uint32_t value = 0;
+
+  friend auto operator<=>(const NodeId&, const NodeId&) = default;
+};
+
+/// Conventional address mapping used throughout the repository: client
+/// processes occupy [0, kServerBase), membership servers occupy
+/// [kServerBase, ...). This keeps addressing trivial while still modeling
+/// clients and servers as distinct network citizens.
+constexpr std::uint32_t kServerBase = 1u << 24;
+
+inline NodeId node_of(ProcessId p) { return NodeId{p.value}; }
+inline NodeId node_of(ServerId s) { return NodeId{kServerBase + s.value}; }
+
+inline bool is_server_node(NodeId n) { return n.value >= kServerBase; }
+inline ProcessId process_of(NodeId n) { return ProcessId{n.value}; }
+inline ServerId server_of(NodeId n) { return ServerId{n.value - kServerBase}; }
+
+inline std::string to_string(NodeId n) {
+  return is_server_node(n) ? vsgc::to_string(server_of(n))
+                           : vsgc::to_string(process_of(n));
+}
+
+}  // namespace vsgc::net
+
+template <>
+struct std::hash<vsgc::net::NodeId> {
+  std::size_t operator()(const vsgc::net::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,117 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Every process, server, network link, and failure schedule in this
+// repository runs on top of this kernel. Events at equal timestamps fire in
+// insertion order, so an execution is a pure function of (code, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vsgc::sim {
+
+class Simulator;
+
+/// Cancellation handle for a scheduled event.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
+  void cancel() {
+    if (auto alive = alive_.lock()) *alive = false;
+  }
+
+  bool pending() const {
+    auto alive = alive_.lock();
+    return alive && *alive;
+  }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+
+  std::weak_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run at now() + delay (delay >= 0).
+  TimerHandle schedule(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  TimerHandle schedule_at(Time when, std::function<void()> fn) {
+    auto alive = std::make_shared<bool>(true);
+    queue_.push(Event{when, next_seq_++, alive, std::move(fn)});
+    return TimerHandle(alive);
+  }
+
+  /// Run events until the queue drains or `deadline` passes.
+  /// Returns the number of events executed.
+  std::size_t run_until(Time deadline) {
+    std::size_t executed = 0;
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+      executed += step();
+    }
+    if (now_ < deadline) now_ = deadline;
+    return executed;
+  }
+
+  /// Run until no events remain (or the safety cap trips — runaway protection
+  /// for tests). Returns the number of events executed.
+  std::size_t run_to_quiescence(std::size_t max_events = 50'000'000) {
+    std::size_t executed = 0;
+    while (!queue_.empty()) {
+      executed += step();
+      if (executed > max_events) return executed;
+    }
+    return executed;
+  }
+
+  bool quiescent() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    std::shared_ptr<bool> alive;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pop and execute one event; returns 1 if a live event ran, 0 otherwise.
+  std::size_t step() {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when > now_ ? ev.when : now_;
+    if (!*ev.alive) return 0;
+    // Mark consumed before running: a handler that re-arms its own timer must
+    // observe the old handle as no longer pending.
+    *ev.alive = false;
+    ev.fn();
+    return 1;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vsgc::sim

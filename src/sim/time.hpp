@@ -1,0 +1,14 @@
+// Simulated time. One tick == one microsecond of virtual time.
+#pragma once
+
+#include <cstdint>
+
+namespace vsgc::sim {
+
+using Time = std::int64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+}  // namespace vsgc::sim

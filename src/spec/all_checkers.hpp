@@ -1,0 +1,37 @@
+// Convenience bundle: every safety checker of Section 4 plus the membership
+// and client specs, wired to a TraceBus in one call. Integration and property
+// tests attach this to simulated worlds so any spec violation aborts the run.
+#pragma once
+
+#include "spec/client_checker.hpp"
+#include "spec/liveness_checker.hpp"
+#include "spec/mbrshp_checker.hpp"
+#include "spec/self_checker.hpp"
+#include "spec/trans_set_checker.hpp"
+#include "spec/vs_rfifo_checker.hpp"
+#include "spec/wv_rfifo_checker.hpp"
+
+namespace vsgc::spec {
+
+struct AllCheckers {
+  MbrshpChecker mbrshp;
+  WvRfifoChecker wv_rfifo;
+  VsRfifoChecker vs_rfifo;
+  TransSetChecker trans_set;
+  SelfChecker self;
+  ClientChecker client;
+
+  void attach(TraceBus& bus) {
+    bus.subscribe(mbrshp);
+    bus.subscribe(wv_rfifo);
+    bus.subscribe(vs_rfifo);
+    bus.subscribe(trans_set);
+    bus.subscribe(self);
+    bus.subscribe(client);
+  }
+
+  /// End-of-execution checks (prophecy-style properties).
+  void finalize() const { trans_set.finalize(); }
+};
+
+}  // namespace vsgc::spec

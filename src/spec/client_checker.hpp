@@ -1,0 +1,39 @@
+// Runtime checker for CLIENT : SPEC (paper Figure 12) — the blocking-client
+// contract the GCS relies on for Self Delivery:
+//   * block_ok only answers an outstanding block request;
+//   * a blocked client never sends until the next view unblocks it.
+#pragma once
+
+#include <map>
+
+#include "spec/events.hpp"
+#include "util/assert.hpp"
+
+namespace vsgc::spec {
+
+class ClientChecker : public TraceSink {
+ public:
+  void on_event(const Event& event) override {
+    if (const auto* b = std::get_if<GcsBlock>(&event.body)) {
+      status_[b->p] = Status::kRequested;
+    } else if (const auto* ok = std::get_if<GcsBlockOk>(&event.body)) {
+      VSGC_REQUIRE(status_[ok->p] == Status::kRequested,
+                   "CLIENT: block_ok without outstanding block at "
+                       << to_string(ok->p));
+      status_[ok->p] = Status::kBlocked;
+    } else if (const auto* s = std::get_if<GcsSend>(&event.body)) {
+      VSGC_REQUIRE(status_[s->p] != Status::kBlocked,
+                   "CLIENT: send while blocked at " << to_string(s->p));
+    } else if (const auto* v = std::get_if<GcsView>(&event.body)) {
+      status_[v->p] = Status::kUnblocked;
+    } else if (const auto* r = std::get_if<Recover>(&event.body)) {
+      status_[r->p] = Status::kUnblocked;
+    }
+  }
+
+ private:
+  enum class Status { kUnblocked, kRequested, kBlocked };
+  std::map<ProcessId, Status> status_;
+};
+
+}  // namespace vsgc::spec

@@ -1,0 +1,86 @@
+// Checker for the CO_RFIFO service specification (paper Figure 3).
+//
+// CO_RFIFO is below the GCS trace-event vocabulary, so this checker is fed
+// directly by transport tests: call note_send / note_reliable / note_deliver
+// around a CoRfifoTransport pair and the checker asserts the channel
+// semantics:
+//   * deliveries from p to q follow the send order (FIFO, no duplicates,
+//     no reordering);
+//   * while q stays continuously in p's reliable_set from the moment a
+//     message is sent, no gap may precede that message (losses may only cut
+//     a suffix of the stream, and only for non-reliable peers).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "net/node.hpp"
+#include "util/assert.hpp"
+
+namespace vsgc::spec {
+
+class CoRfifoChecker {
+ public:
+  /// Record send_p(set, m); `uid` identifies the message.
+  void note_send(net::NodeId p, const std::set<net::NodeId>& dests,
+                 std::uint64_t uid) {
+    for (net::NodeId q : dests) {
+      channels_[{p, q}].sent.push_back(
+          Entry{uid, reliable_[p].contains(q) || p == q});
+    }
+  }
+
+  /// Record reliable_p(set).
+  void note_reliable(net::NodeId p, const std::set<net::NodeId>& set) {
+    reliable_[p] = set;
+    // Messages already in flight to peers no longer in the set may now be
+    // lost (suffix loss): mark them droppable.
+    for (auto& [key, ch] : channels_) {
+      if (key.first != p) continue;
+      if (set.contains(key.second)) continue;
+      for (std::size_t i = ch.next_to_deliver; i < ch.sent.size(); ++i) {
+        ch.sent[i].reliable = false;
+      }
+    }
+  }
+
+  /// Record deliver_{p,q}(m); asserts order and gap-freedom.
+  void note_deliver(net::NodeId p, net::NodeId q, std::uint64_t uid) {
+    auto& ch = channels_[{p, q}];
+    // Find uid at or after the delivery cursor; everything skipped must have
+    // been droppable (sent while q was outside p's reliable set).
+    std::size_t i = ch.next_to_deliver;
+    while (i < ch.sent.size() && ch.sent[i].uid != uid) {
+      VSGC_REQUIRE(!ch.sent[i].reliable,
+                   "CO_RFIFO: gap before uid "
+                       << uid << " on channel " << net::to_string(p) << "->"
+                       << net::to_string(q) << ": reliable message uid "
+                       << ch.sent[i].uid << " was skipped");
+      ++i;
+    }
+    VSGC_REQUIRE(i < ch.sent.size(),
+                 "CO_RFIFO: delivery of uid "
+                     << uid << " on " << net::to_string(p) << "->"
+                     << net::to_string(q)
+                     << " that was never sent (or is a duplicate/reorder)");
+    ch.next_to_deliver = i + 1;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t uid;
+    bool reliable;  ///< sent while the destination was in the reliable set
+  };
+
+  struct Channel {
+    std::vector<Entry> sent;
+    std::size_t next_to_deliver = 0;
+  };
+
+  std::map<std::pair<net::NodeId, net::NodeId>, Channel> channels_;
+  std::map<net::NodeId, std::set<net::NodeId>> reliable_;
+};
+
+}  // namespace vsgc::spec

@@ -1,0 +1,110 @@
+// Global trace-event vocabulary.
+//
+// Simulated executions emit these events onto a TraceBus; the specification
+// automata of Section 4 (implemented as checkers in this directory) consume
+// them and assert, online, that every event was legal — the runtime analogue
+// of the paper's refinement proofs. Each event corresponds to an external
+// action of the composed system, tagged with the process p at which it occurs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "gcs/app_msg.hpp"
+#include "membership/view.hpp"
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace vsgc::spec {
+
+/// GCS.send_p(m)
+struct GcsSend {
+  ProcessId p;
+  gcs::AppMsg msg;
+};
+
+/// GCS.deliver_p(q, m)
+struct GcsDeliver {
+  ProcessId p;  ///< receiving process
+  ProcessId q;  ///< original sender
+  gcs::AppMsg msg;
+};
+
+/// GCS.view_p(v, T)
+struct GcsView {
+  ProcessId p;
+  View view;
+  std::set<ProcessId> transitional;
+};
+
+/// GCS.block_p()
+struct GcsBlock {
+  ProcessId p;
+};
+
+/// client.block_ok_p()
+struct GcsBlockOk {
+  ProcessId p;
+};
+
+/// MBRSHP.start_change_p(cid, set)
+struct MbrStartChange {
+  ProcessId p;
+  StartChangeId cid;
+  std::set<ProcessId> set;
+};
+
+/// MBRSHP.view_p(v)
+struct MbrView {
+  ProcessId p;
+  View view;
+};
+
+/// crash_p() / recover_p() (Section 8)
+struct Crash {
+  ProcessId p;
+};
+struct Recover {
+  ProcessId p;
+};
+
+using EventBody = std::variant<GcsSend, GcsDeliver, GcsView, GcsBlock,
+                               GcsBlockOk, MbrStartChange, MbrView, Crash,
+                               Recover>;
+
+struct Event {
+  sim::Time at = 0;
+  EventBody body;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Fan-out bus: every component emits its external actions here; checkers,
+/// statistics collectors, and (optionally) a recording log subscribe.
+class TraceBus {
+ public:
+  void subscribe(TraceSink& sink) { sinks_.push_back(&sink); }
+
+  void set_recording(bool on) { recording_ = on; }
+  const std::vector<Event>& recorded() const { return record_; }
+
+  void emit(sim::Time at, EventBody body) {
+    Event ev{at, std::move(body)};
+    if (recording_) record_.push_back(ev);
+    for (TraceSink* sink : sinks_) sink->on_event(ev);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+  std::vector<Event> record_;
+  bool recording_ = false;
+};
+
+}  // namespace vsgc::spec

@@ -1,0 +1,33 @@
+// Checker for the conditional liveness Property 4.2.
+//
+// Property 4.2: if the membership service stabilizes — it delivers the same
+// view v to every member of v and no further view/start_change notifications
+// — then every member's GCS eventually delivers v, and every message sent in
+// v is delivered by every member.
+//
+// Tests record the full event trace, run the execution to quiescence (the
+// runtime analogue of "eventually" in a fair execution), and then call
+// check(): it detects whether the trace's membership suffix stabilized and,
+// if so, asserts the conclusions.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "spec/events.hpp"
+
+namespace vsgc::spec {
+
+class LivenessChecker {
+ public:
+  /// The view the membership stabilized on, if any: some view v such that
+  /// every member's final membership event is the delivery of v (and the
+  /// member never crashed without recovering).
+  static std::optional<View> stable_view(const std::vector<Event>& trace);
+
+  /// Assert Property 4.2's conclusions; throws InvariantViolation on failure.
+  /// Returns true if the premise held (so the conclusions were checked).
+  static bool check(const std::vector<Event>& trace);
+};
+
+}  // namespace vsgc::spec

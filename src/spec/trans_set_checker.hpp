@@ -1,0 +1,94 @@
+// Runtime checker for TRANS_SET : SPEC (paper Figure 6 / Property 4.1).
+//
+// Immediate checks at every view delivery:
+//   * T ⊆ v.set ∩ previous_view.set, and p ∈ T.
+//
+// The inclusion/exclusion half of Property 4.1 references which view other
+// processes move to v' FROM — future knowledge at delivery time (the spec
+// models it with a prophecy variable). The checker therefore records every
+// transition and validates mutual consistency in finalize(), which tests call
+// once the execution quiesces: for any p, q that both delivered v',
+//     q ∈ T_p  ⇔  prev_view(q) == prev_view(p),   for q ∈ v'.set ∩ prev_p.set.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "spec/events.hpp"
+#include "util/assert.hpp"
+
+namespace vsgc::spec {
+
+class TransSetChecker : public TraceSink {
+ public:
+  void on_event(const Event& event) override {
+    if (const auto* v = std::get_if<GcsView>(&event.body)) {
+      const View& prev = current_view(v->p);
+      VSGC_REQUIRE(v->transitional.contains(v->p),
+                   "TRANS_SET: transitional set at " << to_string(v->p)
+                                                     << " excludes itself");
+      for (ProcessId q : v->transitional) {
+        VSGC_REQUIRE(v->view.contains(q) && prev.contains(q),
+                     "TRANS_SET: " << to_string(q)
+                                   << " outside v.set ∩ prev.set at "
+                                   << to_string(v->p));
+      }
+      deliveries_.push_back(Delivery{v->p, prev, v->view, v->transitional});
+      current_view_.insert_or_assign(v->p, v->view);
+      return;
+    }
+    if (const auto* r = std::get_if<Recover>(&event.body)) {
+      current_view_.insert_or_assign(r->p, View::initial(r->p));
+      return;
+    }
+  }
+
+  /// Cross-process half of Property 4.1; call once the execution is over.
+  void finalize() const {
+    // prev[(q, v')] = the view q moved to v' from (unique per q, v').
+    std::map<std::pair<ProcessId, View>, View> prev;
+    for (const Delivery& d : deliveries_) {
+      prev.emplace(std::make_pair(d.p, d.view), d.previous);
+    }
+    for (const Delivery& d : deliveries_) {
+      for (ProcessId q : d.view.members) {
+        if (!d.previous.contains(q)) continue;
+        auto it = prev.find(std::make_pair(q, d.view));
+        if (it == prev.end()) continue;  // q never delivered v'
+        const bool moved_together = it->second == d.previous;
+        VSGC_REQUIRE(
+            d.transitional.contains(q) == moved_together,
+            "TRANS_SET: Property 4.1 violated — at "
+                << to_string(d.p) << " moving to " << to_string(d.view.id)
+                << ", " << to_string(q)
+                << (moved_together
+                        ? " moved from the same view but is not in T"
+                        : " moved from a different view but is in T"));
+      }
+    }
+  }
+
+  std::size_t transitions_recorded() const { return deliveries_.size(); }
+
+ private:
+  struct Delivery {
+    ProcessId p;
+    View previous;
+    View view;
+    std::set<ProcessId> transitional;
+  };
+
+  const View& current_view(ProcessId p) {
+    auto it = current_view_.find(p);
+    if (it == current_view_.end()) {
+      it = current_view_.emplace(p, View::initial(p)).first;
+    }
+    return it->second;
+  }
+
+  std::map<ProcessId, View> current_view_;
+  std::vector<Delivery> deliveries_;
+};
+
+}  // namespace vsgc::spec

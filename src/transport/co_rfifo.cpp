@@ -1,0 +1,211 @@
+#include "transport/co_rfifo.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace vsgc::transport {
+
+CoRfifoTransport::CoRfifoTransport(sim::Simulator& sim, net::Network& network,
+                                   net::NodeId self, Config config)
+    : sim_(sim), network_(network), self_(self), config_(config) {
+  reliable_set_ = {self};
+  network_.attach(self, [this](net::NodeId from, const std::any& raw) {
+    on_packet(from, raw);
+  });
+}
+
+CoRfifoTransport::~CoRfifoTransport() { network_.detach(self_); }
+
+std::uint64_t CoRfifoTransport::fresh_incarnation() {
+  // Monotone across crash/recovery without stable storage: simulated time is
+  // globally monotone, the counter breaks same-instant ties.
+  return (static_cast<std::uint64_t>(sim_.now()) << 16) |
+         (++incarnation_counter_ & 0xffff);
+}
+
+void CoRfifoTransport::send(const std::set<net::NodeId>& dests,
+                            std::any payload, std::size_t payload_size) {
+  if (crashed_) return;
+  for (net::NodeId q : dests) {
+    ++stats_.messages_sent;
+    if (q == self_) {
+      // Local loopback: still asynchronous (one scheduler hop), still FIFO.
+      sim_.schedule(1, [this, payload]() {
+        if (!crashed_ && deliver_) {
+          ++stats_.messages_delivered;
+          deliver_(self_, payload);
+        }
+      });
+      continue;
+    }
+    auto& out = outgoing_[q];
+    if (out.incarnation == 0) out.incarnation = fresh_incarnation();
+    Packet pkt;
+    pkt.incarnation = out.incarnation;
+    pkt.seq = out.next_seq++;
+    pkt.first_seq = out.acked + 1;
+    pkt.payload = payload;
+    pkt.payload_size = payload_size;
+    out.unacked.push_back(pkt);
+    transmit(q, pkt);
+    arm_retransmit(q);
+  }
+}
+
+void CoRfifoTransport::transmit(net::NodeId to, const Packet& pkt) {
+  stats_.bytes_sent += pkt.payload_size + kPacketHeaderBytes;
+  network_.send(self_, to, std::any(pkt), pkt.payload_size + kPacketHeaderBytes);
+}
+
+void CoRfifoTransport::arm_retransmit(net::NodeId to) {
+  auto& out = outgoing_[to];
+  if (out.retransmit_timer.pending()) return;
+  out.retransmit_timer =
+      sim_.schedule(config_.retransmit_timeout, [this, to]() {
+        if (crashed_) return;
+        auto it = outgoing_.find(to);
+        if (it == outgoing_.end()) return;
+        auto& out = it->second;
+        if (out.unacked.empty()) return;
+        if (!reliable_set_.contains(to)) return;  // abandoned connection
+        std::size_t sent = 0;
+        for (Packet& pkt : out.unacked) {
+          if (sent++ >= config_.retransmit_batch) break;
+          pkt.first_seq = out.acked + 1;  // refresh prefix availability
+          ++stats_.retransmissions;
+          transmit(to, pkt);
+        }
+        arm_retransmit(to);
+      });
+}
+
+void CoRfifoTransport::set_reliable(const std::set<net::NodeId>& set) {
+  if (crashed_) return;
+  for (auto& [q, out] : outgoing_) {
+    if (set.contains(q) || !reliable_set_.contains(q)) continue;
+    // Peer dropped from the reliable set: abandon the connection. The unacked
+    // suffix is lost (Figure 3's lose(p, q)); a later re-add starts fresh.
+    out.unacked.clear();
+    out.retransmit_timer.cancel();
+    out.incarnation = 0;  // next send() to q gets a new incarnation
+    out.next_seq = 1;
+    out.acked = 0;
+  }
+  reliable_set_ = set;
+  reliable_set_.insert(self_);
+}
+
+void CoRfifoTransport::on_packet(net::NodeId from, const std::any& raw) {
+  if (crashed_) return;
+  const auto* pkt = std::any_cast<Packet>(&raw);
+  if (pkt == nullptr) {
+    if (raw_) raw_(from, raw);
+    return;
+  }
+  if (pkt->is_ack) on_ack(from, *pkt);
+  else on_data(from, *pkt);
+}
+
+void CoRfifoTransport::on_ack(net::NodeId from, const Packet& pkt) {
+  auto it = outgoing_.find(from);
+  if (it == outgoing_.end()) return;
+  auto& out = it->second;
+  if (pkt.incarnation != out.incarnation) return;  // stale incarnation
+  if (pkt.is_reset) {
+    // The peer lost this stream's prefix (it crashed and recovered without
+    // stable storage). Start a fresh incarnation, carrying the unacked
+    // suffix over as the new stream's first messages — the acked prefix
+    // belongs to the peer's previous life and is gone by design (Section 8).
+    out.acked = 0;
+    if (out.unacked.empty()) {
+      out.incarnation = 0;  // next send() opens a new stream lazily
+      out.next_seq = 1;
+      out.retransmit_timer.cancel();
+      return;
+    }
+    out.incarnation = fresh_incarnation();
+    std::uint64_t seq = 1;
+    for (Packet& p : out.unacked) {
+      p.incarnation = out.incarnation;
+      p.seq = seq++;
+      p.first_seq = 1;
+      transmit(from, p);
+    }
+    out.next_seq = seq;
+    out.retransmit_timer.cancel();
+    arm_retransmit(from);
+    return;
+  }
+  if (pkt.seq <= out.acked) return;
+  out.acked = pkt.seq;
+  while (!out.unacked.empty() && out.unacked.front().seq <= pkt.seq) {
+    out.unacked.pop_front();
+  }
+  if (out.unacked.empty()) out.retransmit_timer.cancel();
+}
+
+void CoRfifoTransport::on_data(net::NodeId from, const Packet& pkt) {
+  auto& in = incoming_[from];
+  if (pkt.incarnation < in.incarnation) return;  // stale stream
+  if (pkt.incarnation > in.incarnation) {
+    if (pkt.first_seq > 1) {
+      // Mid-stream continuation of an incarnation we have no state for: we
+      // crashed and lost the prefix, and the sender can no longer retransmit
+      // it (it was acked by our previous life). Ask for a fresh stream.
+      Packet reset;
+      reset.incarnation = pkt.incarnation;
+      reset.seq = 0;
+      reset.is_ack = true;
+      reset.is_reset = true;
+      ++stats_.acks_sent;
+      stats_.bytes_sent += kPacketHeaderBytes;
+      network_.send(self_, from, std::any(reset), kPacketHeaderBytes);
+      return;
+    }
+    // Fresh connection incarnation from the peer: restart the stream.
+    in.incarnation = pkt.incarnation;
+    in.next_expected = 1;
+    in.out_of_order.clear();
+  }
+
+  if (pkt.seq < in.next_expected) {
+    ++stats_.duplicates_dropped;
+  } else {
+    in.out_of_order.emplace(pkt.seq, pkt);  // no-op if already buffered
+    while (true) {
+      auto next = in.out_of_order.find(in.next_expected);
+      if (next == in.out_of_order.end()) break;
+      ++stats_.messages_delivered;
+      ++in.next_expected;
+      Packet ready = std::move(next->second);
+      in.out_of_order.erase(next);
+      if (deliver_) deliver_(from, ready.payload);
+      if (crashed_) return;  // delivery handler may have crashed us
+    }
+  }
+
+  // Cumulative ack for everything contiguously received.
+  Packet ack;
+  ack.incarnation = in.incarnation;
+  ack.seq = in.next_expected - 1;
+  ack.is_ack = true;
+  ++stats_.acks_sent;
+  stats_.bytes_sent += kPacketHeaderBytes;
+  network_.send(self_, from, std::any(ack), kPacketHeaderBytes);
+}
+
+void CoRfifoTransport::crash() {
+  crashed_ = true;
+  for (auto& [q, out] : outgoing_) out.retransmit_timer.cancel();
+  outgoing_.clear();
+  incoming_.clear();
+  reliable_set_ = {self_};
+}
+
+void CoRfifoTransport::recover() {
+  VSGC_REQUIRE(crashed_,
+               "recover() without crash at " << net::to_string(self_));
+  crashed_ = false;
+}
+
+}  // namespace vsgc::transport

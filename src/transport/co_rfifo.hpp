@@ -1,0 +1,158 @@
+// CO_RFIFO: connection-oriented reliable FIFO multicast (paper Figure 3).
+//
+// One CoRfifoTransport instance runs at each node; together they implement
+// the centralized CO_RFIFO automaton of the paper over the unreliable
+// datagram network. The transport is addressed by net::NodeId so the same
+// substrate serves GCS end-points (client<->client), membership clients
+// (client<->server) and membership servers (server<->server) — mirroring the
+// paper's layering over the reliable datagram service of [36].
+//
+// Semantics provided:
+//
+//   * send(set, m): best-effort multicast; for destinations in reliable_set
+//     the stream is gap-free FIFO (sequence numbers + cumulative acks +
+//     retransmission).
+//   * set_reliable(set): maintain reliable connections to `set` only. For a
+//     peer removed from the set, an arbitrary suffix of in-flight messages
+//     may be lost (the implementation drops the unacked suffix and abandons
+//     the connection — Figure 3's lose(p, q)). Re-adding a peer starts a
+//     fresh connection incarnation, so a stale stream never resumes mid-gap.
+//   * crash()/recover(): Section 8 semantics — a crash wipes all transport
+//     state; recovery starts new incarnations everywhere.
+//
+// The `live_set` of the spec models real network connectivity; in this
+// implementation that role is played by the vsgc::net::Network fault state,
+// and the spec checker (src/spec/co_rfifo_spec) tracks it from trace events.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "util/ids.hpp"
+
+namespace vsgc::transport {
+
+/// Wire-level packet exchanged between transports (data or cumulative ack).
+struct Packet {
+  std::uint64_t incarnation = 0;  ///< sender connection incarnation
+  std::uint64_t seq = 0;          ///< data: message seq; ack: cumulative seq
+  std::uint64_t first_seq = 1;    ///< data: lowest seq still retransmittable
+  bool is_ack = false;
+  bool is_reset = false;  ///< ack only: "I lost this stream's prefix — start
+                          ///< a fresh incarnation" (receiver crash recovery)
+  std::any payload;               ///< empty for acks
+  std::size_t payload_size = 0;   ///< serialized payload size (accounting)
+};
+
+/// Fixed per-packet header cost used for byte accounting (incarnation, seq,
+/// flags, addressing) — roughly a UDP-borne protocol header.
+constexpr std::size_t kPacketHeaderBytes = 24;
+
+class CoRfifoTransport {
+ public:
+  struct Config {
+    sim::Time retransmit_timeout = 20 * sim::kMillisecond;
+    std::size_t retransmit_batch = 64;  ///< packets re-sent per timer fire
+  };
+
+  struct Stats {
+    std::uint64_t messages_sent = 0;  ///< upper-layer sends (per destination)
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+
+  using DeliverFn =
+      std::function<void(net::NodeId from, const std::any& payload)>;
+
+  CoRfifoTransport(sim::Simulator& sim, net::Network& network,
+                   net::NodeId self, Config config);
+  CoRfifoTransport(sim::Simulator& sim, net::Network& network,
+                   net::NodeId self)
+      : CoRfifoTransport(sim, network, self, Config()) {}
+  ~CoRfifoTransport();
+
+  CoRfifoTransport(const CoRfifoTransport&) = delete;
+  CoRfifoTransport& operator=(const CoRfifoTransport&) = delete;
+
+  /// Register the upper-layer delivery handler (gap-free FIFO per sender).
+  void set_deliver_handler(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Raw datagram side-channel: non-Packet payloads arriving at this node
+  /// (e.g. failure-detector heartbeats) bypass the reliable machinery.
+  void set_raw_handler(DeliverFn fn) { raw_ = std::move(fn); }
+
+  /// Fire-and-forget datagram outside the reliable stream (no seq, no
+  /// retransmit, no buffering). Used for heartbeats.
+  void send_raw(net::NodeId to, std::any payload, std::size_t payload_size = 0) {
+    if (crashed_) return;
+    stats_.bytes_sent += payload_size;
+    network_.send(self_, to, std::move(payload), payload_size);
+  }
+
+  /// Multicast `payload` to every destination in `dests` (self allowed; a
+  /// self-destination is delivered locally after a scheduling hop).
+  void send(const std::set<net::NodeId>& dests, std::any payload,
+            std::size_t payload_size = 0);
+
+  /// Maintain reliable gap-free connections to exactly `set` (plus self).
+  void set_reliable(const std::set<net::NodeId>& set);
+  const std::set<net::NodeId>& reliable_set() const { return reliable_set_; }
+
+  /// Section 8: crash wipes all state and stops all activity.
+  void crash();
+  /// Section 8: recover with fresh incarnations; peers resynchronize.
+  void recover();
+  bool crashed() const { return crashed_; }
+
+  const Stats& stats() const { return stats_; }
+  net::NodeId self() const { return self_; }
+
+ private:
+  struct Outgoing {
+    std::uint64_t incarnation = 0;
+    std::uint64_t next_seq = 1;  ///< seq for the next new message
+    std::uint64_t acked = 0;     ///< highest cumulatively acked seq
+    std::deque<Packet> unacked;
+    sim::TimerHandle retransmit_timer;
+  };
+
+  struct Incoming {
+    std::uint64_t incarnation = 0;
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, Packet> out_of_order;
+  };
+
+  void on_packet(net::NodeId from, const std::any& raw);
+  void on_data(net::NodeId from, const Packet& pkt);
+  void on_ack(net::NodeId from, const Packet& pkt);
+  void transmit(net::NodeId to, const Packet& pkt);
+  void arm_retransmit(net::NodeId to);
+  std::uint64_t fresh_incarnation();
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  net::NodeId self_;
+  Config config_;
+  Stats stats_;
+  DeliverFn deliver_;
+  DeliverFn raw_;
+
+  std::set<net::NodeId> reliable_set_;
+  std::map<net::NodeId, Outgoing> outgoing_;
+  std::map<net::NodeId, Incoming> incoming_;
+  std::uint64_t incarnation_counter_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace vsgc::transport

@@ -1,0 +1,33 @@
+// Always-on invariant checks.
+//
+// Spec checkers and internal state machines use VSGC_REQUIRE to make any
+// safety violation abort loudly with context, in every build type. These are
+// the runtime analogue of the paper's invariant assertions (Section 6).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vsgc {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void fail_invariant(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace vsgc
+
+#define VSGC_REQUIRE(expr, msg)                                    \
+  do {                                                             \
+    if (!(expr)) ::vsgc::fail_invariant(#expr, __FILE__, __LINE__, \
+                                        (std::ostringstream{} << msg).str()); \
+  } while (0)

@@ -1,0 +1,31 @@
+#include "util/ids.hpp"
+
+#include <ostream>
+
+namespace vsgc {
+
+std::string to_string(ProcessId id) { return "p" + std::to_string(id.value); }
+std::string to_string(ServerId id) { return "s" + std::to_string(id.value); }
+
+std::string to_string(StartChangeId id) {
+  return "cid:" + std::to_string(id.value);
+}
+
+std::string to_string(ViewId id) {
+  return "v" + std::to_string(id.epoch) + "." + std::to_string(id.origin);
+}
+
+std::ostream& operator<<(std::ostream& os, ProcessId id) {
+  return os << to_string(id);
+}
+std::ostream& operator<<(std::ostream& os, ServerId id) {
+  return os << to_string(id);
+}
+std::ostream& operator<<(std::ostream& os, StartChangeId id) {
+  return os << to_string(id);
+}
+std::ostream& operator<<(std::ostream& os, ViewId id) {
+  return os << to_string(id);
+}
+
+}  // namespace vsgc

@@ -1,0 +1,60 @@
+// Lightweight leveled logging, silent by default so tests and benches stay
+// quiet; examples turn it on to narrate executions.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vsgc {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message) {
+    if (!enabled(level)) return;
+    std::clog << "[" << name(level) << "] " << component << ": " << message
+              << '\n';
+  }
+
+ private:
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kOff: return "OFF  ";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kOff;
+};
+
+}  // namespace vsgc
+
+#define VSGC_LOG(level, component, expr)                                  \
+  do {                                                                    \
+    if (::vsgc::Logger::instance().enabled(level)) {                      \
+      std::ostringstream vsgc_log_os;                                     \
+      vsgc_log_os << expr;                                                \
+      ::vsgc::Logger::instance().write(level, component, vsgc_log_os.str()); \
+    }                                                                     \
+  } while (0)
+
+#define VSGC_TRACE(component, expr) VSGC_LOG(::vsgc::LogLevel::kTrace, component, expr)
+#define VSGC_DEBUG(component, expr) VSGC_LOG(::vsgc::LogLevel::kDebug, component, expr)
+#define VSGC_INFO(component, expr) VSGC_LOG(::vsgc::LogLevel::kInfo, component, expr)
+#define VSGC_WARN(component, expr) VSGC_LOG(::vsgc::LogLevel::kWarn, component, expr)

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All simulated randomness (latency jitter, drop decisions, failure
+// schedules) flows through Rng so that an execution is a pure function of
+// its seed — the property every randomized test and benchmark here relies on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vsgc {
+
+/// splitmix64: tiny, fast, and statistically solid for simulation purposes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform real in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Derive an independent child stream (e.g. one per link).
+  Rng fork() { return Rng(next_u64() ^ 0xd6e8feb86659fd93ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vsgc

@@ -1,0 +1,127 @@
+// Minimal binary codec used by all wire message types.
+//
+// The simulator passes messages as structured objects, but every wire type
+// provides encode/decode so that (a) benches can account realistic byte
+// sizes and (b) the codec round-trip is itself a tested invariant.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace vsgc {
+
+class Encoder {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void put_process(ProcessId p) { put_u32(p.value); }
+  void put_start_change_id(StartChangeId c) { put_u64(c.value); }
+
+  void put_view_id(ViewId v) {
+    put_u64(v.epoch);
+    put_u32(v.origin);
+  }
+
+  void put_process_set(const std::set<ProcessId>& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    for (ProcessId p : s) put_process(p);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t get_u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+  std::string get_string() {
+    const std::uint32_t n = get_u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  ProcessId get_process() { return ProcessId{get_u32()}; }
+  StartChangeId get_start_change_id() { return StartChangeId{get_u64()}; }
+
+  ViewId get_view_id() {
+    ViewId v;
+    v.epoch = get_u64();
+    v.origin = get_u32();
+    return v;
+  }
+
+  std::set<ProcessId> get_process_set() {
+    const std::uint32_t n = get_u32();
+    std::set<ProcessId> s;
+    for (std::uint32_t i = 0; i < n; ++i) s.insert(get_process());
+    return s;
+  }
+
+  bool done() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) {
+    if (buf_.size() - pos_ < n) throw DecodeError("decoder underrun");
+  }
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vsgc

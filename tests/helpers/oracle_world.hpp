@@ -1,0 +1,92 @@
+// Test fixture: GCS end-points over a simulated network, driven by the
+// scripted OracleMembership instead of real membership servers. The test
+// plays the nondeterministic environment of the MBRSHP spec, which makes
+// staged scenarios (partitions, missed messages, forwarding) deterministic.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "app/blocking_client.hpp"
+#include "gcs/gcs_endpoint.hpp"
+#include "gcs/process.hpp"
+#include "membership/oracle.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "spec/all_checkers.hpp"
+#include "util/rng.hpp"
+
+namespace vsgc::testing {
+
+class OracleWorld {
+ public:
+  explicit OracleWorld(int n, std::uint64_t seed = 1,
+                       net::Network::Config net_config = {},
+                       gcs::ForwardingKind forwarding =
+                           gcs::ForwardingKind::kMinCopies) {
+    network = std::make_unique<net::Network>(sim, Rng(seed), net_config);
+    trace.set_recording(true);
+    checkers.attach(trace);
+    for (int i = 0; i < n; ++i) {
+      const ProcessId p{static_cast<std::uint32_t>(i + 1)};
+      transports.push_back(std::make_unique<transport::CoRfifoTransport>(
+          sim, *network, net::node_of(p)));
+      endpoints.push_back(std::make_unique<gcs::GcsEndpoint>(
+          sim, *transports.back(), p, gcs::make_strategy(forwarding),
+          &trace));
+      clients.push_back(
+          std::make_unique<app::BlockingClient>(*endpoints.back()));
+      auto* ep = endpoints.back().get();
+      transports.back()->set_deliver_handler(
+          [ep](net::NodeId from, const std::any& payload) {
+            ep->on_co_rfifo_deliver(net::process_of(from), payload);
+          });
+      oracle.attach(p, *ep);
+    }
+  }
+
+  ProcessId pid(int i) const { return ProcessId{static_cast<std::uint32_t>(i + 1)}; }
+
+  std::set<ProcessId> pids(std::initializer_list<int> idx) const {
+    std::set<ProcessId> out;
+    for (int i : idx) out.insert(pid(i));
+    return out;
+  }
+
+  std::set<ProcessId> all() const {
+    std::set<ProcessId> out;
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      out.insert(pid(static_cast<int>(i)));
+    }
+    return out;
+  }
+
+  gcs::GcsEndpoint& ep(int i) { return *endpoints.at(static_cast<std::size_t>(i)); }
+  app::BlockingClient& client(int i) { return *clients.at(static_cast<std::size_t>(i)); }
+  transport::CoRfifoTransport& transport(int i) {
+    return *transports.at(static_cast<std::size_t>(i));
+  }
+
+  void run(sim::Time d = 500 * sim::kMillisecond) { sim.run_until(sim.now() + d); }
+  void settle() { sim.run_to_quiescence(); }
+
+  /// Standard reconfiguration: start_change + view over `members`, then run.
+  View change_view(const std::set<ProcessId>& members) {
+    oracle.start_change(members);
+    run();
+    const View v = oracle.deliver_view(members);
+    run();
+    return v;
+  }
+
+  sim::Simulator sim;
+  spec::TraceBus trace;
+  spec::AllCheckers checkers;
+  std::unique_ptr<net::Network> network;
+  membership::OracleMembership oracle;
+  std::vector<std::unique_ptr<transport::CoRfifoTransport>> transports;
+  std::vector<std::unique_ptr<gcs::GcsEndpoint>> endpoints;
+  std::vector<std::unique_ptr<app::BlockingClient>> clients;
+};
+
+}  // namespace vsgc::testing

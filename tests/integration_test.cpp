@@ -1,0 +1,210 @@
+// Full-stack integration tests: real membership servers, failure detection,
+// partitions, merges, crash/recovery — with the complete checker suite and
+// the Property 4.2 liveness check on the recorded traces.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "app/world.hpp"
+#include "spec/liveness_checker.hpp"
+
+namespace vsgc {
+namespace {
+
+std::set<ProcessId> pids(std::initializer_list<std::uint32_t> ids) {
+  std::set<ProcessId> out;
+  for (auto i : ids) out.insert(ProcessId{i});
+  return out;
+}
+
+TEST(Integration, MessagesFlowAfterConvergence) {
+  app::WorldConfig cfg;
+  cfg.num_clients = 4;
+  app::World w(cfg);
+  std::vector<int> rx(4, 0);
+  for (int i = 0; i < 4; ++i) {
+    w.client(i).on_deliver(
+        [&rx, i](ProcessId, const gcs::AppMsg&) { ++rx[static_cast<std::size_t>(i)]; });
+  }
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 5 * sim::kSecond));
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 5; ++k) w.client(i).send("m");
+  }
+  w.run_for(2 * sim::kSecond);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rx[static_cast<std::size_t>(i)], 20);
+  w.checkers().finalize();
+  EXPECT_TRUE(spec::LivenessChecker::check(w.trace().recorded()));
+}
+
+TEST(Integration, CrashedProcessExcludedOthersContinue) {
+  app::WorldConfig cfg;
+  cfg.num_clients = 3;
+  app::World w(cfg);
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 5 * sim::kSecond));
+
+  w.process(2).crash();
+  ASSERT_TRUE(w.run_until_converged(pids({1, 2}), 10 * sim::kSecond))
+      << "survivors must reconfigure to a 2-member view";
+
+  std::vector<int> rx(2, 0);
+  for (int i = 0; i < 2; ++i) {
+    w.client(i).on_deliver(
+        [&rx, i](ProcessId, const gcs::AppMsg&) { ++rx[static_cast<std::size_t>(i)]; });
+  }
+  w.client(0).send("after-crash");
+  w.run_for(2 * sim::kSecond);
+  EXPECT_EQ(rx[0], 1);
+  EXPECT_EQ(rx[1], 1);
+  w.checkers().finalize();
+}
+
+TEST(Integration, CrashRecoverRejoinsUnderOriginalIdentity) {
+  app::WorldConfig cfg;
+  cfg.num_clients = 3;
+  app::World w(cfg);
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 5 * sim::kSecond));
+
+  w.process(1).crash();
+  ASSERT_TRUE(w.run_until_converged(pids({1, 3}), 10 * sim::kSecond));
+
+  // Section 8: recovery without stable storage, same identity.
+  w.process(1).recover();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond))
+      << "recovered process must rejoin under its original id";
+
+  std::vector<int> rx(3, 0);
+  for (int i = 0; i < 3; ++i) {
+    w.client(i).on_deliver(
+        [&rx, i](ProcessId, const gcs::AppMsg&) { ++rx[static_cast<std::size_t>(i)]; });
+  }
+  w.client(1).send("post-recovery");
+  w.run_for(2 * sim::kSecond);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(rx[static_cast<std::size_t>(i)], 1);
+  w.checkers().finalize();
+  EXPECT_TRUE(spec::LivenessChecker::check(w.trace().recorded()));
+}
+
+TEST(Integration, TwoServerPartitionAndMerge) {
+  app::WorldConfig cfg;
+  cfg.num_clients = 4;
+  cfg.num_servers = 2;
+  app::World w(cfg);
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 8 * sim::kSecond));
+
+  // Clients 1,3 attach to server 0; clients 2,4 to server 1 (round robin).
+  w.network().partition(
+      {{net::node_of(ServerId{0}), net::node_of(ProcessId{1}),
+        net::node_of(ProcessId{3})},
+       {net::node_of(ServerId{1}), net::node_of(ProcessId{2}),
+        net::node_of(ProcessId{4})}});
+  ASSERT_TRUE(w.run_until_converged(pids({1, 3}), 15 * sim::kSecond))
+      << "component A must form its own view";
+  ASSERT_TRUE(w.run_until_converged(pids({2, 4}), 15 * sim::kSecond))
+      << "component B must form its own view";
+
+  // Messages stay within components.
+  std::vector<int> rx(4, 0);
+  for (int i = 0; i < 4; ++i) {
+    w.client(i).on_deliver(
+        [&rx, i](ProcessId, const gcs::AppMsg&) { ++rx[static_cast<std::size_t>(i)]; });
+  }
+  w.client(0).send("in-A");
+  w.run_for(2 * sim::kSecond);
+  EXPECT_EQ(rx[0], 1);
+  EXPECT_EQ(rx[2], 1);  // process 3 (index 2) is in component A
+  EXPECT_EQ(rx[1], 0);
+  EXPECT_EQ(rx[3], 0);
+
+  w.network().heal();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 20 * sim::kSecond))
+      << "healed components must merge into one view";
+  w.checkers().finalize();
+  EXPECT_TRUE(spec::LivenessChecker::check(w.trace().recorded()));
+}
+
+TEST(Integration, TransitionalSetsAtMergeReflectComponents) {
+  app::WorldConfig cfg;
+  cfg.num_clients = 4;
+  cfg.num_servers = 2;
+  app::World w(cfg);
+  std::map<int, std::set<ProcessId>> last_t;
+  for (int i = 0; i < 4; ++i) {
+    w.client(i).on_view(
+        [&last_t, i](const View&, const std::set<ProcessId>& t) {
+          last_t[i] = t;
+        });
+  }
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 8 * sim::kSecond));
+  w.network().partition(
+      {{net::node_of(ServerId{0}), net::node_of(ProcessId{1}),
+        net::node_of(ProcessId{3})},
+       {net::node_of(ServerId{1}), net::node_of(ProcessId{2}),
+        net::node_of(ProcessId{4})}});
+  ASSERT_TRUE(w.run_until_converged(pids({1, 3}), 15 * sim::kSecond));
+  ASSERT_TRUE(w.run_until_converged(pids({2, 4}), 15 * sim::kSecond));
+  w.network().heal();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 20 * sim::kSecond));
+  // After the merge, each member's transitional set is its old component.
+  EXPECT_EQ(last_t[0], pids({1, 3}));
+  EXPECT_EQ(last_t[2], pids({1, 3}));
+  EXPECT_EQ(last_t[1], pids({2, 4}));
+  EXPECT_EQ(last_t[3], pids({2, 4}));
+  w.checkers().finalize();
+}
+
+TEST(Integration, VirtualSynchronyAcrossForcedExclusion) {
+  // A client partitioned from everyone keeps its old view; survivors agree
+  // on a cut and move on; after healing, everyone reconverges.
+  app::WorldConfig cfg;
+  cfg.num_clients = 3;
+  app::World w(cfg);
+  std::vector<int> rx(3, 0);
+  for (int i = 0; i < 3; ++i) {
+    w.client(i).on_deliver(
+        [&rx, i](ProcessId, const gcs::AppMsg&) { ++rx[static_cast<std::size_t>(i)]; });
+  }
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 5 * sim::kSecond));
+
+  // Burst of traffic, then partition p3 away mid-stream.
+  for (int k = 0; k < 10; ++k) w.client(0).send("x");
+  w.network().partition(
+      {{net::node_of(ServerId{0}), net::node_of(ProcessId{1}),
+        net::node_of(ProcessId{2})},
+       {net::node_of(ProcessId{3})}});
+  ASSERT_TRUE(w.run_until_converged(pids({1, 2}), 15 * sim::kSecond));
+  EXPECT_EQ(rx[0], rx[1]) << "survivors must agree on delivered prefix";
+
+  w.network().heal();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 20 * sim::kSecond));
+  w.checkers().finalize();
+  EXPECT_TRUE(spec::LivenessChecker::check(w.trace().recorded()));
+}
+
+TEST(Integration, MultiServerScalesToManyClients) {
+  app::WorldConfig cfg;
+  cfg.num_clients = 12;
+  cfg.num_servers = 3;
+  app::World w(cfg);
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+  std::vector<int> rx(12, 0);
+  for (int i = 0; i < 12; ++i) {
+    w.client(i).on_deliver(
+        [&rx, i](ProcessId, const gcs::AppMsg&) { ++rx[static_cast<std::size_t>(i)]; });
+  }
+  w.client(5).send("fan-out");
+  w.run_for(2 * sim::kSecond);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(rx[static_cast<std::size_t>(i)], 1);
+  w.checkers().finalize();
+  EXPECT_TRUE(spec::LivenessChecker::check(w.trace().recorded()));
+}
+
+}  // namespace
+}  // namespace vsgc

@@ -1,0 +1,179 @@
+// Unit tests for the unreliable datagram network model.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace vsgc::net {
+namespace {
+
+struct Harness {
+  explicit Harness(Network::Config cfg = {}, std::uint64_t seed = 1)
+      : network(sim, Rng(seed), cfg) {}
+
+  void attach_collector(NodeId n) {
+    network.attach(n, [this, n](NodeId from, const std::any& payload) {
+      received.push_back({n, from, std::any_cast<std::string>(payload),
+                          sim.now()});
+    });
+  }
+
+  struct Rx {
+    NodeId at;
+    NodeId from;
+    std::string payload;
+    sim::Time when;
+  };
+
+  sim::Simulator sim;
+  Network network;
+  std::vector<Rx> received;
+};
+
+TEST(Network, DeliversWithBaseLatency) {
+  Network::Config cfg;
+  cfg.base_latency = 5 * sim::kMillisecond;
+  cfg.jitter = 0;
+  Harness h(cfg);
+  h.attach_collector(NodeId{2});
+  h.network.send(NodeId{1}, NodeId{2}, std::string("x"), 1);
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(h.received.size(), 1u);
+  EXPECT_EQ(h.received[0].when, 5 * sim::kMillisecond);
+  EXPECT_EQ(h.received[0].from, NodeId{1});
+}
+
+TEST(Network, FifoLinksNeverReorder) {
+  Network::Config cfg;
+  cfg.jitter = 900;  // plenty of jitter to tempt reordering
+  Harness h(cfg, 99);
+  h.attach_collector(NodeId{2});
+  for (int i = 0; i < 50; ++i) {
+    h.network.send(NodeId{1}, NodeId{2}, std::to_string(i), 1);
+  }
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(h.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(h.received[static_cast<std::size_t>(i)].payload,
+              std::to_string(i));
+  }
+}
+
+TEST(Network, DropProbabilityLosesSomePackets) {
+  Network::Config cfg;
+  cfg.drop_probability = 0.5;
+  Harness h(cfg, 7);
+  h.attach_collector(NodeId{2});
+  for (int i = 0; i < 200; ++i) {
+    h.network.send(NodeId{1}, NodeId{2}, std::string("m"), 1);
+  }
+  h.sim.run_to_quiescence();
+  EXPECT_GT(h.received.size(), 50u);
+  EXPECT_LT(h.received.size(), 150u);
+  EXPECT_EQ(h.network.stats().packets_dropped + h.received.size(), 200u);
+}
+
+TEST(Network, DownNodeReceivesNothing) {
+  Harness h;
+  h.attach_collector(NodeId{2});
+  h.network.set_node_up(NodeId{2}, false);
+  h.network.send(NodeId{1}, NodeId{2}, std::string("x"), 1);
+  h.sim.run_to_quiescence();
+  EXPECT_TRUE(h.received.empty());
+  h.network.set_node_up(NodeId{2}, true);
+  h.network.send(NodeId{1}, NodeId{2}, std::string("y"), 1);
+  h.sim.run_to_quiescence();
+  EXPECT_EQ(h.received.size(), 1u);
+}
+
+TEST(Network, CrashMidFlightDropsPacket) {
+  Harness h;
+  h.attach_collector(NodeId{2});
+  h.network.send(NodeId{1}, NodeId{2}, std::string("x"), 1);
+  // Node goes down while the packet is in flight.
+  h.network.set_node_up(NodeId{2}, false);
+  h.sim.run_to_quiescence();
+  EXPECT_TRUE(h.received.empty());
+}
+
+TEST(Network, LinkFailureIsSymmetricAndRepairable) {
+  Harness h;
+  h.attach_collector(NodeId{1});
+  h.attach_collector(NodeId{2});
+  h.network.set_link_up(NodeId{1}, NodeId{2}, false);
+  EXPECT_FALSE(h.network.link_up(NodeId{1}, NodeId{2}));
+  EXPECT_FALSE(h.network.link_up(NodeId{2}, NodeId{1}));
+  h.network.send(NodeId{1}, NodeId{2}, std::string("a"), 1);
+  h.network.send(NodeId{2}, NodeId{1}, std::string("b"), 1);
+  h.sim.run_to_quiescence();
+  EXPECT_TRUE(h.received.empty());
+  h.network.set_link_up(NodeId{1}, NodeId{2}, true);
+  h.network.send(NodeId{1}, NodeId{2}, std::string("c"), 1);
+  h.sim.run_to_quiescence();
+  EXPECT_EQ(h.received.size(), 1u);
+}
+
+TEST(Network, PartitionSeparatesComponents) {
+  Harness h;
+  for (std::uint32_t n = 1; n <= 4; ++n) h.attach_collector(NodeId{n});
+  h.network.partition({{NodeId{1}, NodeId{2}}, {NodeId{3}, NodeId{4}}});
+  EXPECT_TRUE(h.network.link_up(NodeId{1}, NodeId{2}));
+  EXPECT_TRUE(h.network.link_up(NodeId{3}, NodeId{4}));
+  EXPECT_FALSE(h.network.link_up(NodeId{1}, NodeId{3}));
+  h.network.send(NodeId{1}, NodeId{3}, std::string("x"), 1);
+  h.network.send(NodeId{1}, NodeId{2}, std::string("y"), 1);
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(h.received.size(), 1u);
+  EXPECT_EQ(h.received[0].payload, "y");
+}
+
+TEST(Network, UnassignedNodesReachEveryComponent) {
+  Harness h;
+  h.attach_collector(NodeId{1});
+  h.attach_collector(NodeId{3});
+  h.network.partition({{NodeId{1}}, {NodeId{3}}});
+  // Node 9 is in no component: it talks to both sides.
+  h.network.send(NodeId{9}, NodeId{1}, std::string("a"), 1);
+  h.network.send(NodeId{9}, NodeId{3}, std::string("b"), 1);
+  h.sim.run_to_quiescence();
+  EXPECT_EQ(h.received.size(), 2u);
+}
+
+TEST(Network, HealRestoresFullConnectivity) {
+  Harness h;
+  h.attach_collector(NodeId{3});
+  h.network.partition({{NodeId{1}}, {NodeId{3}}});
+  h.network.set_link_up(NodeId{1}, NodeId{3}, false);
+  h.network.heal();
+  EXPECT_TRUE(h.network.link_up(NodeId{1}, NodeId{3}));
+  h.network.send(NodeId{1}, NodeId{3}, std::string("x"), 1);
+  h.sim.run_to_quiescence();
+  EXPECT_EQ(h.received.size(), 1u);
+}
+
+TEST(Network, StatsAccounting) {
+  Network::Config cfg;
+  Harness h(cfg);
+  h.attach_collector(NodeId{2});
+  h.network.send(NodeId{1}, NodeId{2}, std::string("x"), 100);
+  h.network.send(NodeId{1}, NodeId{5}, std::string("y"), 50);  // no handler
+  h.sim.run_to_quiescence();
+  EXPECT_EQ(h.network.stats().packets_sent, 2u);
+  EXPECT_EQ(h.network.stats().packets_delivered, 1u);
+  EXPECT_EQ(h.network.stats().packets_dropped, 1u);
+  EXPECT_EQ(h.network.stats().bytes_sent, 150u);
+}
+
+TEST(Network, ServerAndClientAddressing) {
+  EXPECT_FALSE(is_server_node(node_of(ProcessId{5})));
+  EXPECT_TRUE(is_server_node(node_of(ServerId{0})));
+  EXPECT_EQ(process_of(node_of(ProcessId{5})), ProcessId{5});
+  EXPECT_EQ(server_of(node_of(ServerId{3})), ServerId{3});
+  EXPECT_NE(node_of(ProcessId{0}), node_of(ServerId{0}));
+}
+
+}  // namespace
+}  // namespace vsgc::net

@@ -1,0 +1,167 @@
+// Randomized property sweeps: seeded churn (crashes, recoveries, partitions,
+// healing, concurrent traffic) followed by stabilization. Every execution
+// runs with the full checker suite attached (WV/VS/TRANS_SET/SELF/MBRSHP/
+// CLIENT safety) and is checked for the conditional liveness Property 4.2 at
+// the end. Each seed is a distinct asynchronous schedule.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "app/world.hpp"
+#include "spec/liveness_checker.hpp"
+#include "util/rng.hpp"
+
+namespace vsgc {
+namespace {
+
+struct ChurnParams {
+  std::uint64_t seed;
+  int clients;
+  int servers;
+  gcs::ForwardingKind forwarding;
+  double drop_probability;
+  bool two_tier = false;
+};
+
+std::string PrintParams(
+    const ::testing::TestParamInfo<ChurnParams>& info) {
+  const auto& p = info.param;
+  return "seed" + std::to_string(p.seed) + "_c" + std::to_string(p.clients) +
+         "_s" + std::to_string(p.servers) +
+         (p.forwarding == gcs::ForwardingKind::kSimple ? "_simple"
+                                                       : "_mincopies") +
+         (p.drop_probability > 0 ? "_lossy" : "_clean") +
+         (p.two_tier ? "_twotier" : "");
+}
+
+class ChurnProperty : public ::testing::TestWithParam<ChurnParams> {};
+
+TEST_P(ChurnProperty, SafetyAlwaysLivenessAfterStabilization) {
+  const ChurnParams param = GetParam();
+  app::WorldConfig cfg;
+  cfg.num_clients = param.clients;
+  cfg.num_servers = param.servers;
+  cfg.seed = param.seed;
+  cfg.forwarding = param.forwarding;
+  cfg.net.drop_probability = param.drop_probability;
+  if (param.two_tier) {
+    cfg.sync_routing.mode = gcs::SyncRouting::Mode::kTwoTier;
+    // Two leader groups: first half led by p1, second half by the middle.
+    const int half = (param.clients + 1) / 2;
+    for (int i = 0; i < param.clients; ++i) {
+      cfg.sync_routing.leader_of[ProcessId{static_cast<std::uint32_t>(i + 1)}] =
+          ProcessId{static_cast<std::uint32_t>(i < half ? 1 : half + 1)};
+    }
+  }
+  app::World w(cfg);
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond))
+      << "initial convergence";
+
+  Rng rng(param.seed * 7919 + 13);
+  std::vector<bool> crashed(static_cast<std::size_t>(param.clients), false);
+  bool partitioned = false;
+
+  // Churn phase: random faults interleaved with traffic.
+  for (int step = 0; step < 25; ++step) {
+    const int action = static_cast<int>(rng.next_below(10));
+    const int target = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(param.clients)));
+    if (action < 5) {
+      // Traffic from a random live process.
+      if (!crashed[static_cast<std::size_t>(target)]) {
+        w.client(target).send("churn-" + std::to_string(step));
+      }
+    } else if (action < 7) {
+      if (!crashed[static_cast<std::size_t>(target)]) {
+        w.process(target).crash();
+        crashed[static_cast<std::size_t>(target)] = true;
+      }
+    } else if (action < 9) {
+      if (crashed[static_cast<std::size_t>(target)]) {
+        w.process(target).recover();
+        crashed[static_cast<std::size_t>(target)] = false;
+      }
+    } else if (!partitioned) {
+      // Random partition: split clients and servers into two components.
+      std::vector<std::set<net::NodeId>> comps(2);
+      for (int i = 0; i < param.clients; ++i) {
+        comps[rng.next_below(2)].insert(
+            net::node_of(ProcessId{static_cast<std::uint32_t>(i + 1)}));
+      }
+      for (int s = 0; s < param.servers; ++s) {
+        comps[rng.next_below(2)].insert(
+            net::node_of(ServerId{static_cast<std::uint32_t>(s)}));
+      }
+      w.network().partition(comps);
+      partitioned = true;
+    } else {
+      w.network().heal();
+      partitioned = false;
+    }
+    w.run_for(static_cast<sim::Time>(rng.next_in(50, 600)) *
+              sim::kMillisecond);
+  }
+
+  // Stabilization: heal everything, recover everyone, let traffic drain.
+  w.network().heal();
+  for (int i = 0; i < param.clients; ++i) {
+    if (crashed[static_cast<std::size_t>(i)]) w.process(i).recover();
+  }
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond))
+      << "group must reconverge after stabilization";
+
+  // Post-stabilization traffic must reach everyone.
+  std::vector<int> rx(static_cast<std::size_t>(param.clients), 0);
+  for (int i = 0; i < param.clients; ++i) {
+    w.client(i).on_deliver(
+        [&rx, i](ProcessId, const gcs::AppMsg&) { ++rx[static_cast<std::size_t>(i)]; });
+  }
+  w.client(0).send("final-probe");
+  w.run_for(3 * sim::kSecond);
+  for (int i = 0; i < param.clients; ++i) {
+    EXPECT_EQ(rx[static_cast<std::size_t>(i)], 1) << "process " << i;
+  }
+
+  // Prophecy-style end-of-run checks + liveness over the recorded trace.
+  w.checkers().finalize();
+  EXPECT_TRUE(spec::LivenessChecker::check(w.trace().recorded()));
+}
+
+std::vector<ChurnParams> MakeSweep() {
+  std::vector<ChurnParams> out;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    out.push_back({seed, 4, 1, gcs::ForwardingKind::kMinCopies, 0.0});
+  }
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    out.push_back({seed, 5, 2, gcs::ForwardingKind::kMinCopies, 0.0});
+  }
+  for (std::uint64_t seed = 17; seed <= 20; ++seed) {
+    out.push_back({seed, 4, 1, gcs::ForwardingKind::kSimple, 0.0});
+  }
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    out.push_back({seed, 3, 1, gcs::ForwardingKind::kMinCopies, 0.05});
+  }
+  for (std::uint64_t seed = 25; seed <= 30; ++seed) {
+    out.push_back(
+        {seed, 6, 2, gcs::ForwardingKind::kMinCopies, 0.0, /*two_tier=*/true});
+  }
+  for (std::uint64_t seed = 31; seed <= 36; ++seed) {
+    out.push_back({seed, 8, 3, gcs::ForwardingKind::kMinCopies, 0.0});
+  }
+  for (std::uint64_t seed = 37; seed <= 40; ++seed) {
+    out.push_back({seed, 5, 2, gcs::ForwardingKind::kSimple, 0.05});
+  }
+  for (std::uint64_t seed = 41; seed <= 44; ++seed) {
+    out.push_back(
+        {seed, 6, 2, gcs::ForwardingKind::kMinCopies, 0.05, /*two_tier=*/true});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Churn, ChurnProperty,
+                         ::testing::ValuesIn(MakeSweep()), PrintParams);
+
+}  // namespace
+}  // namespace vsgc

@@ -1,0 +1,111 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace vsgc::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run_to_quiescence();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimestampsFireInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_quiescence();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle h = sim.schedule(10, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run_to_quiescence();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle h = sim.schedule(1, [&] { ++fired; });
+  sim.run_to_quiescence();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, NestedSchedulingFromHandlers) {
+  Simulator sim;
+  std::vector<Time> at;
+  sim.schedule(10, [&] {
+    at.push_back(sim.now());
+    sim.schedule(5, [&] { at.push_back(sim.now()); });
+  });
+  sim.run_to_quiescence();
+  EXPECT_EQ(at, (std::vector<Time>{10, 15}));
+}
+
+TEST(Simulator, ZeroDelayRunsImmediatelyButAsync) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(0, [&] { fired = true; });
+  EXPECT_FALSE(fired);
+  sim.run_to_quiescence();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, QuiescenceDetection) {
+  Simulator sim;
+  EXPECT_TRUE(sim.quiescent());
+  sim.schedule(1, [] {});
+  EXPECT_FALSE(sim.quiescent());
+  sim.run_to_quiescence();
+  EXPECT_TRUE(sim.quiescent());
+}
+
+TEST(Simulator, RunawayCapBoundsExecution) {
+  Simulator sim;
+  std::function<void()> loop = [&] { sim.schedule(1, loop); };
+  sim.schedule(1, loop);
+  const std::size_t executed = sim.run_to_quiescence(/*max_events=*/1000);
+  EXPECT_GT(executed, 1000u - 2);
+  EXPECT_LE(executed, 1002u);
+}
+
+TEST(Simulator, DeadlineAdvancesTimeWithoutEvents) {
+  Simulator sim;
+  sim.run_until(12345);
+  EXPECT_EQ(sim.now(), 12345);
+}
+
+}  // namespace
+}  // namespace vsgc::sim

@@ -1,0 +1,139 @@
+// Tests for the CO_RFIFO stream-reset handshake: recovery of a RECEIVER that
+// lost its state must never wedge a connection whose acked prefix is gone
+// (the Section 8 scenario the churn sweeps uncovered — see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "transport/co_rfifo.hpp"
+
+namespace vsgc::transport {
+namespace {
+
+struct Pair {
+  explicit Pair(net::Network::Config cfg = {}, std::uint64_t seed = 1)
+      : network(sim, Rng(seed), cfg),
+        a(sim, network, net::NodeId{1}),
+        b(sim, network, net::NodeId{2}) {
+    a.set_reliable({net::NodeId{2}});
+    b.set_deliver_handler([this](net::NodeId, const std::any& payload) {
+      received.push_back(std::any_cast<std::uint64_t>(payload));
+    });
+  }
+
+  void send(std::uint64_t uid) { a.send({net::NodeId{2}}, uid, 8); }
+
+  sim::Simulator sim;
+  net::Network network;
+  CoRfifoTransport a;
+  CoRfifoTransport b;
+  std::vector<std::uint64_t> received;
+};
+
+TEST(CoRfifoReset, ReceiverRecoveryUnwedgesOngoingStream) {
+  Pair h;
+  // Establish a stream with an acked prefix.
+  for (std::uint64_t i = 1; i <= 5; ++i) h.send(i);
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(h.received.size(), 5u);
+
+  // Receiver crashes and recovers: its incoming state (and the delivered
+  // prefix) is gone. The sender does not notice and keeps streaming.
+  h.b.crash();
+  h.sim.run_until(h.sim.now() + sim::kMillisecond);
+  h.b.recover();
+  h.received.clear();
+
+  for (std::uint64_t i = 6; i <= 8; ++i) h.send(i);
+  h.sim.run_until(h.sim.now() + 2 * sim::kSecond);
+
+  // Without the reset handshake the receiver would buffer seq 6.. forever
+  // waiting for the unrecoverable seq 1..5. With it, the suffix arrives as a
+  // fresh stream, in order.
+  EXPECT_EQ(h.received, (std::vector<std::uint64_t>{6, 7, 8}));
+}
+
+TEST(CoRfifoReset, UnackedSuffixSurvivesTheReset) {
+  Pair h;
+  h.send(1);
+  h.sim.run_to_quiescence();
+  // Crash the receiver, then send while it is down: these stay unacked.
+  h.b.crash();
+  h.send(2);
+  h.send(3);
+  h.sim.run_until(h.sim.now() + 50 * sim::kMillisecond);
+  h.b.recover();
+  h.received.clear();
+  h.sim.run_until(h.sim.now() + 2 * sim::kSecond);
+  // The unacked suffix is re-homed onto the fresh incarnation and delivered.
+  EXPECT_EQ(h.received, (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(CoRfifoReset, NoResetWhenPrefixStillRetransmittable) {
+  // If nothing was acked yet, a recovered receiver simply gets the stream
+  // from seq 1 via retransmission — no reset, no loss.
+  net::Network::Config cfg;
+  Pair h(cfg);
+  h.network.set_node_up(net::NodeId{2}, false);  // receiver unreachable
+  h.send(1);
+  h.send(2);
+  h.sim.run_until(h.sim.now() + 50 * sim::kMillisecond);
+  h.network.set_node_up(net::NodeId{2}, true);
+  h.sim.run_until(h.sim.now() + 2 * sim::kSecond);
+  EXPECT_EQ(h.received, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(CoRfifoReset, RepeatedRecoveryCyclesStayLive) {
+  Pair h;
+  std::uint64_t uid = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    h.send(++uid);
+    h.sim.run_to_quiescence();
+    h.b.crash();
+    h.sim.run_until(h.sim.now() + sim::kMillisecond);
+    h.b.recover();
+  }
+  h.received.clear();
+  h.send(++uid);
+  h.sim.run_until(h.sim.now() + 2 * sim::kSecond);
+  ASSERT_EQ(h.received.size(), 1u);
+  EXPECT_EQ(h.received[0], uid);
+}
+
+TEST(CoRfifoReset, LossDuringHandshakeStillConverges) {
+  net::Network::Config cfg;
+  cfg.drop_probability = 0.3;
+  Pair h(cfg, 77);
+  for (std::uint64_t i = 1; i <= 10; ++i) h.send(i);
+  h.sim.run_to_quiescence();
+  h.b.crash();
+  h.sim.run_until(h.sim.now() + sim::kMillisecond);
+  h.b.recover();
+  h.received.clear();
+  for (std::uint64_t i = 11; i <= 30; ++i) h.send(i);
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(h.received.size(), 20u) << "reset + retransmission must deliver "
+                                       "the whole post-recovery stream";
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(h.received[i], 11 + i);
+}
+
+TEST(CoRfifoReset, StaleResetAckIgnored) {
+  Pair h;
+  h.send(1);
+  h.sim.run_to_quiescence();
+  // Forge a stale reset for an old incarnation: must be ignored.
+  Packet stale;
+  stale.incarnation = 1;  // definitely not the current incarnation
+  stale.is_ack = true;
+  stale.is_reset = true;
+  h.network.send(net::NodeId{2}, net::NodeId{1}, std::any(stale), 24);
+  h.sim.run_to_quiescence();
+  h.send(2);
+  h.sim.run_to_quiescence();
+  EXPECT_EQ(h.received, (std::vector<std::uint64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace vsgc::transport

@@ -1,0 +1,150 @@
+// The paper constructs its algorithm incrementally (Section 5): WV_RFIFO
+// alone already satisfies WV_RFIFO:SPEC and Property 4.2. These tests run
+// the BASE automaton standalone (no virtual synchrony, no blocking) against
+// the WV checker, mirroring the paper's Section 5.1 argument.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gcs/wv_rfifo_endpoint.hpp"
+#include "membership/oracle.hpp"
+#include "net/network.hpp"
+#include "spec/liveness_checker.hpp"
+#include "spec/wv_rfifo_checker.hpp"
+
+namespace vsgc::gcs {
+namespace {
+
+class Recorder : public Client {
+ public:
+  void deliver(ProcessId from, const AppMsg& m) override {
+    deliveries.push_back({from, m});
+  }
+  void view(const View& v, const std::set<ProcessId>&) override {
+    views.push_back(v);
+  }
+  void block() override {}
+
+  std::vector<std::pair<ProcessId, AppMsg>> deliveries;
+  std::vector<View> views;
+};
+
+struct WvWorld {
+  explicit WvWorld(int n) : network(sim, Rng(1)) {
+    trace.set_recording(true);
+    trace.subscribe(checker);
+    for (int i = 0; i < n; ++i) {
+      const ProcessId p{static_cast<std::uint32_t>(i + 1)};
+      transports.push_back(std::make_unique<transport::CoRfifoTransport>(
+          sim, network, net::node_of(p)));
+      endpoints.push_back(std::make_unique<WvRfifoEndpoint>(
+          sim, *transports.back(), p, &trace));
+      clients.push_back(std::make_unique<Recorder>());
+      endpoints.back()->set_client(*clients.back());
+      auto* ep = endpoints.back().get();
+      transports.back()->set_deliver_handler(
+          [ep](net::NodeId from, const std::any& payload) {
+            ep->on_co_rfifo_deliver(net::process_of(from), payload);
+          });
+      oracle.attach(p, *ep);
+    }
+  }
+
+  std::set<ProcessId> all() const {
+    std::set<ProcessId> out;
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      out.insert(ProcessId{static_cast<std::uint32_t>(i + 1)});
+    }
+    return out;
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  spec::TraceBus trace;
+  spec::WvRfifoChecker checker;
+  membership::OracleMembership oracle;
+  std::vector<std::unique_ptr<transport::CoRfifoTransport>> transports;
+  std::vector<std::unique_ptr<WvRfifoEndpoint>> endpoints;
+  std::vector<std::unique_ptr<Recorder>> clients;
+};
+
+TEST(WvStandalone, ViewsInstallWithoutSynchronizationMessages) {
+  WvWorld w(3);
+  // WV alone does not wait for sync messages: the membership view installs
+  // as soon as it arrives (view_gate of the base automaton is vacuous).
+  w.oracle.start_change(w.all());
+  w.oracle.deliver_view(w.all());
+  for (auto& ep : w.endpoints) {
+    EXPECT_EQ(ep->current_view().members, w.all());
+  }
+}
+
+TEST(WvStandalone, WithinViewFifoDeliveryHolds) {
+  WvWorld w(3);
+  w.oracle.start_change(w.all());
+  w.oracle.deliver_view(w.all());
+  for (int k = 0; k < 10; ++k) {
+    w.endpoints[0]->send("a" + std::to_string(k));
+  }
+  w.sim.run_to_quiescence();
+  for (int i = 0; i < 3; ++i) {
+    const auto& d = w.clients[static_cast<std::size_t>(i)]->deliveries;
+    ASSERT_EQ(d.size(), 10u) << "endpoint " << i;
+    for (int k = 0; k < 10; ++k) {
+      EXPECT_EQ(d[static_cast<std::size_t>(k)].second.payload,
+                "a" + std::to_string(k));
+    }
+  }
+  EXPECT_TRUE(spec::LivenessChecker::check(w.trace.recorded()));
+}
+
+TEST(WvStandalone, MessagesNeverCrossViewBoundaries) {
+  WvWorld w(2);
+  w.oracle.start_change(w.all());
+  w.oracle.deliver_view(w.all());
+  w.endpoints[0]->send("in-view-1");
+  w.sim.run_to_quiescence();
+  // Move on; messages sent in view 1 but arriving later must not be
+  // delivered in view 2 (the WV checker enforces it; counts confirm).
+  w.oracle.start_change(w.all());
+  w.oracle.deliver_view(w.all());
+  w.sim.run_to_quiescence();
+  w.endpoints[1]->send("in-view-2");
+  w.sim.run_to_quiescence();
+  const auto& d = w.clients[0]->deliveries;
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].second.payload, "in-view-1");
+  EXPECT_EQ(d[1].second.payload, "in-view-2");
+}
+
+TEST(WvStandalone, SelfDeliveryOnlyAfterMulticast) {
+  // The base automaton's (q = p) => last_dlvrd < last_sent precondition:
+  // an end-point cannot self-deliver before co_rfifo.send happened. Since
+  // both occur inside one pump, we observe the effect: self-delivery works
+  // and the message is on the wire to peers.
+  WvWorld w(2);
+  w.oracle.start_change(w.all());
+  w.oracle.deliver_view(w.all());
+  w.endpoints[0]->send("x");
+  w.sim.run_to_quiescence();
+  EXPECT_EQ(w.clients[0]->deliveries.size(), 1u);
+  EXPECT_EQ(w.clients[1]->deliveries.size(), 1u);
+  EXPECT_GE(w.transports[0]->stats().messages_sent, 1u);
+}
+
+TEST(WvStandalone, NoObsoleteViewSkippingInBase) {
+  // Unlike the VS child, the base automaton installs every membership view
+  // (its only precondition is monotonicity) — the obsolete-view skipping is
+  // genuinely a property of the Figure 10 extension.
+  WvWorld w(2);
+  w.oracle.start_change(w.all());
+  w.oracle.deliver_view(w.all());
+  w.oracle.start_change(w.all());
+  w.oracle.deliver_view(w.all());
+  w.sim.run_to_quiescence();
+  EXPECT_EQ(w.clients[0]->views.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vsgc::gcs
