@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crash_recovery.dir/bench_crash_recovery.cpp.o"
+  "CMakeFiles/bench_crash_recovery.dir/bench_crash_recovery.cpp.o.d"
+  "bench_crash_recovery"
+  "bench_crash_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crash_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_total_order.dir/bench_total_order.cpp.o"
+  "CMakeFiles/bench_total_order.dir/bench_total_order.cpp.o.d"
+  "bench_total_order"
+  "bench_total_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_total_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

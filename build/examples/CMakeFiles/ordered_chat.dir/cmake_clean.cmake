@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_chat.dir/ordered_chat.cpp.o"
+  "CMakeFiles/ordered_chat.dir/ordered_chat.cpp.o.d"
+  "ordered_chat"
+  "ordered_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsgc_app.dir/causal_order.cpp.o"
+  "CMakeFiles/vsgc_app.dir/causal_order.cpp.o.d"
+  "CMakeFiles/vsgc_app.dir/replicated_kv.cpp.o"
+  "CMakeFiles/vsgc_app.dir/replicated_kv.cpp.o.d"
+  "CMakeFiles/vsgc_app.dir/total_order.cpp.o"
+  "CMakeFiles/vsgc_app.dir/total_order.cpp.o.d"
+  "libvsgc_app.a"
+  "libvsgc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsgc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

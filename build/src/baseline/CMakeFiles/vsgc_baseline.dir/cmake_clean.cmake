@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsgc_baseline.dir/two_round_endpoint.cpp.o"
+  "CMakeFiles/vsgc_baseline.dir/two_round_endpoint.cpp.o.d"
+  "libvsgc_baseline.a"
+  "libvsgc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsgc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvsgc_baseline.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcs/gcs_endpoint.cpp" "src/gcs/CMakeFiles/vsgc_gcs.dir/gcs_endpoint.cpp.o" "gcc" "src/gcs/CMakeFiles/vsgc_gcs.dir/gcs_endpoint.cpp.o.d"
+  "/root/repo/src/gcs/vs_rfifo_ts_endpoint.cpp" "src/gcs/CMakeFiles/vsgc_gcs.dir/vs_rfifo_ts_endpoint.cpp.o" "gcc" "src/gcs/CMakeFiles/vsgc_gcs.dir/vs_rfifo_ts_endpoint.cpp.o.d"
+  "/root/repo/src/gcs/wv_rfifo_endpoint.cpp" "src/gcs/CMakeFiles/vsgc_gcs.dir/wv_rfifo_endpoint.cpp.o" "gcc" "src/gcs/CMakeFiles/vsgc_gcs.dir/wv_rfifo_endpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vsgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vsgc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/vsgc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/vsgc_membership.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsgc_gcs.dir/gcs_endpoint.cpp.o"
+  "CMakeFiles/vsgc_gcs.dir/gcs_endpoint.cpp.o.d"
+  "CMakeFiles/vsgc_gcs.dir/vs_rfifo_ts_endpoint.cpp.o"
+  "CMakeFiles/vsgc_gcs.dir/vs_rfifo_ts_endpoint.cpp.o.d"
+  "CMakeFiles/vsgc_gcs.dir/wv_rfifo_endpoint.cpp.o"
+  "CMakeFiles/vsgc_gcs.dir/wv_rfifo_endpoint.cpp.o.d"
+  "libvsgc_gcs.a"
+  "libvsgc_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsgc_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/membership/membership_client.cpp" "src/membership/CMakeFiles/vsgc_membership.dir/membership_client.cpp.o" "gcc" "src/membership/CMakeFiles/vsgc_membership.dir/membership_client.cpp.o.d"
+  "/root/repo/src/membership/membership_server.cpp" "src/membership/CMakeFiles/vsgc_membership.dir/membership_server.cpp.o" "gcc" "src/membership/CMakeFiles/vsgc_membership.dir/membership_server.cpp.o.d"
+  "/root/repo/src/membership/view.cpp" "src/membership/CMakeFiles/vsgc_membership.dir/view.cpp.o" "gcc" "src/membership/CMakeFiles/vsgc_membership.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vsgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vsgc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/vsgc_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

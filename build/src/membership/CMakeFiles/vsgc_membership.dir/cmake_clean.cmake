@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsgc_membership.dir/membership_client.cpp.o"
+  "CMakeFiles/vsgc_membership.dir/membership_client.cpp.o.d"
+  "CMakeFiles/vsgc_membership.dir/membership_server.cpp.o"
+  "CMakeFiles/vsgc_membership.dir/membership_server.cpp.o.d"
+  "CMakeFiles/vsgc_membership.dir/view.cpp.o"
+  "CMakeFiles/vsgc_membership.dir/view.cpp.o.d"
+  "libvsgc_membership.a"
+  "libvsgc_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsgc_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsgc_net.dir/network.cpp.o"
+  "CMakeFiles/vsgc_net.dir/network.cpp.o.d"
+  "libvsgc_net.a"
+  "libvsgc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsgc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/liveness_checker.cpp" "src/spec/CMakeFiles/vsgc_spec.dir/liveness_checker.cpp.o" "gcc" "src/spec/CMakeFiles/vsgc_spec.dir/liveness_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vsgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vsgc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/vsgc_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/vsgc_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

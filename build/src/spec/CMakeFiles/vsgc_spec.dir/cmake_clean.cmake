@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsgc_spec.dir/liveness_checker.cpp.o"
+  "CMakeFiles/vsgc_spec.dir/liveness_checker.cpp.o.d"
+  "libvsgc_spec.a"
+  "libvsgc_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsgc_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsgc_transport.dir/co_rfifo.cpp.o"
+  "CMakeFiles/vsgc_transport.dir/co_rfifo.cpp.o.d"
+  "libvsgc_transport.a"
+  "libvsgc_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsgc_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsgc_util.dir/ids.cpp.o"
+  "CMakeFiles/vsgc_util.dir/ids.cpp.o.d"
+  "libvsgc_util.a"
+  "libvsgc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsgc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/vsgc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/vsgc_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/vsgc_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/vsgc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/vsgc_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/vsgc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vsgc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vsgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_order_test.dir/causal_order_test.cpp.o"
+  "CMakeFiles/causal_order_test.dir/causal_order_test.cpp.o.d"
+  "causal_order_test"
+  "causal_order_test.pdb"
+  "causal_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

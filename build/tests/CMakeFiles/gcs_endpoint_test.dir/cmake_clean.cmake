@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_endpoint_test.dir/gcs_endpoint_test.cpp.o"
+  "CMakeFiles/gcs_endpoint_test.dir/gcs_endpoint_test.cpp.o.d"
+  "gcs_endpoint_test"
+  "gcs_endpoint_test.pdb"
+  "gcs_endpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_protocol_test.dir/membership_protocol_test.cpp.o"
+  "CMakeFiles/membership_protocol_test.dir/membership_protocol_test.cpp.o.d"
+  "membership_protocol_test"
+  "membership_protocol_test.pdb"
+  "membership_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_reset_test.dir/transport_reset_test.cpp.o"
+  "CMakeFiles/transport_reset_test.dir/transport_reset_test.cpp.o.d"
+  "transport_reset_test"
+  "transport_reset_test.pdb"
+  "transport_reset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_reset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wv_standalone_test.dir/wv_standalone_test.cpp.o"
+  "CMakeFiles/wv_standalone_test.dir/wv_standalone_test.cpp.o.d"
+  "wv_standalone_test"
+  "wv_standalone_test.pdb"
+  "wv_standalone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wv_standalone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

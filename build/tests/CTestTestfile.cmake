@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/membership_test[1]_include.cmake")
+include("/root/repo/build/tests/gcs_endpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/forwarding_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/app_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/view_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_reset_test[1]_include.cmake")
+include("/root/repo/build/tests/membership_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/world_test[1]_include.cmake")
+include("/root/repo/build/tests/causal_order_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/wv_standalone_test[1]_include.cmake")
