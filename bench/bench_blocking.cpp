@@ -32,7 +32,8 @@ struct BlockWindowRecorder : spec::TraceSink {
   std::vector<sim::Time> windows;
 };
 
-double measure_block_window(int n, int inflight_msgs, double drop) {
+double measure_block_window(int n, int inflight_msgs, double drop,
+                            obs::BenchArtifact& art, obs::Registry& reg) {
   net::Network::Config cfg;
   cfg.base_latency = 5 * sim::kMillisecond;
   cfg.jitter = 0;
@@ -40,6 +41,8 @@ double measure_block_window(int n, int inflight_msgs, double drop) {
   GcsBenchWorld w(n, cfg);
   BlockWindowRecorder rec;
   w.trace.subscribe(rec);
+  obs::MetricsCollector collector(reg);  // gcs.blocking_window_us histogram
+  w.trace.subscribe(collector);
 
   w.schedule_change(0, kMembershipRound, w.all());
   w.run_until(sim::kSecond);
@@ -52,6 +55,8 @@ double measure_block_window(int n, int inflight_msgs, double drop) {
   w.schedule_change(w.sim.now(), kMembershipRound, w.all());
   w.run_until(w.sim.now() + 30 * sim::kSecond);
 
+  record_network_stats(reg, w.network);
+  art.tally(w.sim);
   if (rec.windows.empty()) return -1;
   sim::Time sum = 0;
   for (sim::Time t : rec.windows) sum += t;
@@ -63,15 +68,27 @@ double measure_block_window(int n, int inflight_msgs, double drop) {
 int main() {
   std::cout << "E6: application send-blocking window during a view change\n";
   std::cout << "(5 ms links, 20 ms membership round)\n";
+  obs::BenchArtifact art("blocking");
+  art.config("link_latency_ms") = 5.0;
+  art.config("membership_round_ms") = ms(kMembershipRound);
+  obs::Registry reg;
   Table t({"group size", "in-flight msgs/member", "loss", "avg block window (ms)"});
   for (int n : {3, 6, 10}) {
     for (int load : {0, 100}) {
       for (double drop : {0.0, 0.3}) {
-        t.row(n, load, drop, measure_block_window(n, load, drop));
+        const double window = measure_block_window(n, load, drop, art, reg);
+        t.row(n, load, drop, window);
+        obs::JsonValue& row = art.add_result();
+        row["group_size"] = n;
+        row["inflight_msgs_per_member"] = load;
+        row["drop_probability"] = drop;
+        row["avg_block_window_ms"] = window;
       }
     }
   }
   t.print("blocking window vs group size, in-flight load, and loss");
+  art.set_metrics(reg);
+  art.write_file();
 
   std::cout << "\nShape check: ~ membership round when the agreed cut drains "
                "inside it (idle or clean network); grows when loss forces "

@@ -18,7 +18,8 @@ struct Result {
   double rejoin_ms;   // recover -> everyone installs the full view
 };
 
-Result run_case(int n, sim::Time fd_timeout) {
+Result run_case(int n, sim::Time fd_timeout, obs::BenchArtifact& art,
+                obs::Registry& reg) {
   app::WorldConfig cfg;
   cfg.num_clients = n;
   cfg.attach_checkers = false;
@@ -26,6 +27,15 @@ Result run_case(int n, sim::Time fd_timeout) {
   cfg.server.fd.timeout = fd_timeout;
   cfg.server.fd.check_interval = fd_timeout / 5;
   app::World w(cfg);
+  struct Tally {
+    obs::BenchArtifact& art;
+    obs::Registry& reg;
+    app::World& w;
+    ~Tally() {
+      art.tally(w.sim());
+      record_network_stats(reg, w.network());
+    }
+  } tally{art, reg, w};
   w.start();
   if (!w.run_until_converged(w.all_members(), 20 * sim::kSecond)) {
     return {-1, -1};
@@ -51,16 +61,25 @@ Result run_case(int n, sim::Time fd_timeout) {
 
 int main() {
   std::cout << "E7: crash exclusion and recovery rejoin latency, full stack\n";
+  obs::BenchArtifact art("crash_recovery");
+  obs::Registry reg;
   Table t({"group size", "FD timeout (ms)", "exclude (ms)", "rejoin (ms)"});
   for (int n : {3, 6, 12}) {
     for (sim::Time fd :
          {100 * sim::kMillisecond, 250 * sim::kMillisecond,
           1000 * sim::kMillisecond}) {
-      const Result r = run_case(n, fd);
+      const Result r = run_case(n, fd, art, reg);
       t.row(n, ms(fd), r.exclude_ms, r.rejoin_ms);
+      obs::JsonValue& row = art.add_result();
+      row["group_size"] = n;
+      row["fd_timeout_ms"] = ms(fd);
+      row["exclude_ms"] = r.exclude_ms;
+      row["rejoin_ms"] = r.rejoin_ms;
     }
   }
   t.print("fault handling latency");
+  art.set_metrics(reg);
+  art.write_file();
 
   std::cout << "\nShape check: exclusion ~ FD timeout + one membership round "
                "+ one client round, roughly flat in group size; rejoin needs "

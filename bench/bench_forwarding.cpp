@@ -21,7 +21,8 @@ struct Result {
   bool complete;
 };
 
-Result run_case(int n, int missing_msgs, gcs::ForwardingKind kind) {
+Result run_case(int n, int missing_msgs, gcs::ForwardingKind kind,
+                obs::BenchArtifact& art, obs::Registry& reg) {
   net::Network::Config cfg;
   GcsBenchWorld w(n, cfg, /*seed=*/7, kind);
   ViewTimeRecorder rec;
@@ -56,7 +57,11 @@ Result run_case(int n, int missing_msgs, gcs::ForwardingKind kind) {
   Result r{};
   for (std::size_t i = 1; i < w.endpoints.size(); ++i) {
     r.forwarded_copies += w.endpoints[i]->vs_stats().forwards_sent;
+    record_vs_stats(reg, w.pid(static_cast<int>(i)),
+                    w.endpoints[i]->vs_stats());
   }
+  record_network_stats(reg, w.network);
+  art.tally(w.sim);
   sim::Time latest = -1;
   r.complete = true;
   for (ProcessId p : rest) {
@@ -76,20 +81,33 @@ Result run_case(int n, int missing_msgs, gcs::ForwardingKind kind) {
 int main() {
   std::cout << "E4: forwarding strategies — copies shipped and recovery time\n";
   std::cout << "(half the group misses the excluded sender's messages)\n";
+  obs::BenchArtifact art("forwarding");
+  art.config("seed") = 7;
+  obs::Registry reg;
   Table t({"group size", "missing msgs", "strategy", "fwd copies",
            "recovery (ms)", "ok"});
   for (int n : {4, 6, 10}) {
     for (int m : {1, 5, 20}) {
       for (auto kind :
            {gcs::ForwardingKind::kSimple, gcs::ForwardingKind::kMinCopies}) {
-        const Result r = run_case(n, m, kind);
-        t.row(n, m,
-              kind == gcs::ForwardingKind::kSimple ? "simple" : "min-copies",
-              r.forwarded_copies, r.recovery_ms, r.complete ? "yes" : "NO");
+        const Result r = run_case(n, m, kind, art, reg);
+        const char* strategy =
+            kind == gcs::ForwardingKind::kSimple ? "simple" : "min-copies";
+        t.row(n, m, strategy, r.forwarded_copies, r.recovery_ms,
+              r.complete ? "yes" : "NO");
+        obs::JsonValue& row = art.add_result();
+        row["group_size"] = n;
+        row["missing_msgs"] = m;
+        row["strategy"] = strategy;
+        row["forwarded_copies"] = r.forwarded_copies;
+        row["recovery_ms"] = r.recovery_ms;
+        row["complete"] = r.complete;
       }
     }
   }
   t.print("forwarded copies vs strategy");
+  art.set_metrics(reg);
+  art.write_file();
 
   std::cout << "\nShape check: min-copies ships ~ (missing msgs x missing "
                "members) copies exactly once; simple ships more (every "

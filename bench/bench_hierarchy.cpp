@@ -32,7 +32,8 @@ struct Result {
   double change_ms;
 };
 
-Result measure(int n, int groups /* 0 = direct */) {
+Result measure(int n, int groups /* 0 = direct */, obs::BenchArtifact& art,
+               obs::Registry& reg) {
   net::Network::Config cfg;
   GcsBenchWorld w(n, cfg);
   if (groups > 0) {
@@ -66,6 +67,12 @@ Result measure(int n, int groups /* 0 = direct */) {
   }
   r.sync_msgs = msgs_after - msgs_before;
   r.sync_bytes = bytes_after - bytes_before;
+  for (std::size_t i = 0; i < w.endpoints.size(); ++i) {
+    record_vs_stats(reg, w.pid(static_cast<int>(i)),
+                    w.endpoints[i]->vs_stats());
+  }
+  record_network_stats(reg, w.network);
+  art.tally(w.sim);
   sim::Time latest = -1;
   for (const auto& [p, list] : rec.views) {
     if (!list.empty()) latest = std::max(latest, list.back().second);
@@ -78,18 +85,34 @@ Result measure(int n, int groups /* 0 = direct */) {
 
 int main() {
   std::cout << "E10 (ablation): sync dissemination — direct vs two-tier\n";
+  obs::BenchArtifact art("hierarchy");
+  art.config("membership_round_ms") = ms(kMembershipRound);
+  obs::Registry reg;
   Table t({"group size", "topology", "sync msgs/change", "sync bytes",
            "view change (ms)"});
+  auto add_row = [&art](int n, const std::string& topology, const Result& r) {
+    obs::JsonValue& row = art.add_result();
+    row["group_size"] = n;
+    row["topology"] = topology;
+    row["sync_msgs_per_change"] = r.sync_msgs;
+    row["sync_bytes"] = r.sync_bytes;
+    row["view_change_ms"] = r.change_ms;
+  };
   for (int n : {8, 16, 32}) {
-    const Result direct = measure(n, 0);
+    const Result direct = measure(n, 0, art, reg);
     t.row(n, "direct", direct.sync_msgs, direct.sync_bytes, direct.change_ms);
+    add_row(n, "direct", direct);
     for (int groups : {2, 4}) {
-      const Result tiered = measure(n, groups);
-      t.row(n, std::to_string(groups) + " leaders", tiered.sync_msgs,
-            tiered.sync_bytes, tiered.change_ms);
+      const Result tiered = measure(n, groups, art, reg);
+      const std::string topology = std::to_string(groups) + " leaders";
+      t.row(n, topology, tiered.sync_msgs, tiered.sync_bytes,
+            tiered.change_ms);
+      add_row(n, topology, tiered);
     }
   }
   t.print("sync dissemination cost per reconfiguration");
+  art.set_metrics(reg);
+  art.write_file();
 
   std::cout << "\nShape check: direct grows ~n^2; two-tier grows ~n·L with a "
                "modest latency penalty (extra relay hop).\n";

@@ -20,13 +20,23 @@ struct Result {
   std::uint64_t rounds;
 };
 
-Result run_case(int clients, int servers) {
+Result run_case(int clients, int servers, obs::BenchArtifact& art,
+                obs::Registry& reg) {
   app::WorldConfig cfg;
   cfg.num_clients = clients;
   cfg.num_servers = servers;
   cfg.attach_checkers = false;
   cfg.record_trace = false;
   app::World w(cfg);
+  struct Tally {
+    obs::BenchArtifact& art;
+    obs::Registry& reg;
+    app::World& w;
+    ~Tally() {
+      art.tally(w.sim());
+      record_network_stats(reg, w.network());
+    }
+  } tally{art, reg, w};
   w.start();
   if (!w.run_until_converged(w.all_members(), 60 * sim::kSecond)) {
     return {-1, -1, 0};
@@ -56,16 +66,26 @@ Result run_case(int clients, int servers) {
 
 int main() {
   std::cout << "E8: membership service scalability (client-server design)\n";
+  obs::BenchArtifact art("membership");
+  obs::Registry reg;
   Table t({"clients", "servers", "converge (ms)",
            "change msgs/client", "total rounds"});
   for (int servers : {1, 2, 4}) {
     for (int clients : {4, 8, 16, 32}) {
-      const Result r = run_case(clients, servers);
+      const Result r = run_case(clients, servers, art, reg);
       t.row(clients, servers, r.converge_ms, r.change_msgs_per_client,
             r.rounds);
+      obs::JsonValue& row = art.add_result();
+      row["clients"] = clients;
+      row["servers"] = servers;
+      row["converge_ms"] = r.converge_ms;
+      row["change_msgs_per_client"] = r.change_msgs_per_client;
+      row["total_rounds"] = r.rounds;
     }
   }
   t.print("membership convergence and server load");
+  art.set_metrics(reg);
+  art.write_file();
 
   std::cout << "\nShape check: per-change server messages per client stay "
                "roughly flat (~2-3: one start_change + one view per client, "

@@ -26,13 +26,21 @@ constexpr sim::Time kClientLatency = 25 * sim::kMillisecond;
 constexpr sim::Time kMembershipRound = 10 * sim::kMillisecond;
 
 template <typename WorldT>
-double views_per_member_under_cascade(int n, int cascade, sim::Time gap) {
+double views_per_member_under_cascade(int n, int cascade, sim::Time gap,
+                                      obs::BenchArtifact& art,
+                                      obs::Registry* reg) {
   net::Network::Config cfg;
   cfg.base_latency = kClientLatency;
   cfg.jitter = 0;
   WorldT w(n, cfg);
   ViewTimeRecorder rec;
   w.trace.subscribe(rec);
+  std::unique_ptr<obs::MetricsCollector> collector;
+  if (reg != nullptr) {
+    // The derived gcs.obsolete_views counter is exactly this bench's claim.
+    collector = std::make_unique<obs::MetricsCollector>(*reg);
+    w.trace.subscribe(*collector);
+  }
   w.schedule_change(0, kMembershipRound, w.all());
   w.run_until(2 * sim::kSecond);
 
@@ -52,6 +60,7 @@ double views_per_member_under_cascade(int n, int cascade, sim::Time gap) {
       if (when > t0) ++total;  // views from the cascade only
     }
   }
+  art.tally(w.sim);
   return static_cast<double>(total) / n;
 }
 
@@ -63,20 +72,31 @@ int main() {
   std::cout << "client link latency = " << ms(kClientLatency)
             << " ms, membership round = " << ms(kMembershipRound) << " ms\n";
   constexpr int kN = 4;
+  obs::BenchArtifact art("obsolete_views");
+  art.config("group_size") = kN;
+  art.config("client_latency_ms") = ms(kClientLatency);
+  art.config("membership_round_ms") = ms(kMembershipRound);
+  obs::Registry reg;
   Table t({"cascade len", "gap (ms)", "ours: views/member",
            "baseline: views/member"});
   for (int cascade : {2, 4, 8}) {
     for (sim::Time gap : {2 * sim::kMillisecond, 10 * sim::kMillisecond,
                           100 * sim::kMillisecond}) {
-      const double ours =
-          views_per_member_under_cascade<GcsBenchWorld>(kN, cascade, gap);
-      const double base =
-          views_per_member_under_cascade<BaselineBenchWorld>(kN, cascade,
-                                                             gap);
+      const double ours = views_per_member_under_cascade<GcsBenchWorld>(
+          kN, cascade, gap, art, &reg);
+      const double base = views_per_member_under_cascade<BaselineBenchWorld>(
+          kN, cascade, gap, art, nullptr);
       t.row(cascade, ms(gap), ours, base);
+      obs::JsonValue& row = art.add_result();
+      row["cascade_len"] = cascade;
+      row["gap_ms"] = ms(gap);
+      row["ours_views_per_member"] = ours;
+      row["baseline_views_per_member"] = base;
     }
   }
   t.print("views delivered per member (cascade only)");
+  art.set_metrics(reg);
+  art.write_file();
 
   std::cout << "\nShape check: with gaps shorter than the client round "
                "(~25 ms), ours collapses the cascade to ~1 view while the "

@@ -20,7 +20,7 @@ struct Overhead {
   std::uint64_t bytes;         // transport bytes during the change
 };
 
-Overhead measure_ours(int n) {
+Overhead measure_ours(int n, obs::BenchArtifact& art, obs::Registry& reg) {
   net::Network::Config cfg;
   GcsBenchWorld w(n, cfg);
   w.schedule_change(0, kMembershipRound, w.all());
@@ -40,10 +40,15 @@ Overhead measure_ours(int n) {
   for (auto& tr : w.transports) bytes_after += tr->stats().bytes_sent;
   std::uint64_t sync_after = 0;
   for (auto& ep : w.endpoints) sync_after += ep->vs_stats().sync_msgs_sent;
+  for (std::size_t i = 0; i < w.endpoints.size(); ++i) {
+    record_vs_stats(reg, w.pid(static_cast<int>(i)), w.endpoints[i]->vs_stats());
+  }
+  record_network_stats(reg, w.network);
+  art.tally(w.sim);
   return {sync_after - sync_before, bytes_after - bytes_before};
 }
 
-Overhead measure_baseline(int n) {
+Overhead measure_baseline(int n, obs::BenchArtifact& art) {
   net::Network::Config cfg;
   BaselineBenchWorld w(n, cfg);
   w.schedule_change(0, kMembershipRound, w.all());
@@ -69,6 +74,7 @@ Overhead measure_baseline(int n) {
     ctrl_after += ep->baseline_stats().agrees_sent +
                   ep->baseline_stats().sync_msgs_sent;
   }
+  art.tally(w.sim);
   return {ctrl_after - ctrl_before, bytes_after - bytes_before};
 }
 
@@ -76,14 +82,25 @@ Overhead measure_baseline(int n) {
 
 int main() {
   std::cout << "E3: control overhead per view change (whole group)\n";
+  obs::BenchArtifact art("sync_overhead");
+  art.config("membership_round_ms") = ms(kMembershipRound);
+  obs::Registry reg;
   Table t({"group size", "ours ctrl msgs", "baseline ctrl msgs",
            "ours bytes", "baseline bytes"});
   for (int n : {2, 4, 8, 16, 32}) {
-    const Overhead ours = measure_ours(n);
-    const Overhead base = measure_baseline(n);
+    const Overhead ours = measure_ours(n, art, reg);
+    const Overhead base = measure_baseline(n, art);
     t.row(n, ours.control_msgs, base.control_msgs, ours.bytes, base.bytes);
+    obs::JsonValue& row = art.add_result();
+    row["group_size"] = n;
+    row["ours_ctrl_msgs"] = ours.control_msgs;
+    row["baseline_ctrl_msgs"] = base.control_msgs;
+    row["ours_bytes"] = ours.bytes;
+    row["baseline_bytes"] = base.bytes;
   }
   t.print("control messages and bytes per reconfiguration");
+  art.set_metrics(reg);
+  art.write_file();
 
   std::cout << "\nShape check: ours sends exactly one sync per member; the "
                "baseline sends an agree AND a sync per member (2x), and its "

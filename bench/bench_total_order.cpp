@@ -20,12 +20,22 @@ struct Result {
   bool agreed;
 };
 
-Result run_case(int n, int messages) {
+Result run_case(int n, int messages, obs::BenchArtifact& art,
+                obs::Registry& reg) {
   app::WorldConfig cfg;
   cfg.num_clients = n;
   cfg.attach_checkers = false;
   cfg.record_trace = false;
   app::World w(cfg);
+  struct Tally {
+    obs::BenchArtifact& art;
+    obs::Registry& reg;
+    app::World& w;
+    ~Tally() {
+      art.tally(w.sim());
+      record_network_stats(reg, w.network());
+    }
+  } tally{art, reg, w};
 
   std::vector<std::unique_ptr<app::TotalOrder>> to;
   std::vector<std::vector<std::string>> orders(static_cast<std::size_t>(n));
@@ -77,12 +87,22 @@ Result run_case(int n, int messages) {
 int main() {
   std::cout << "E9: totally ordered multicast on top of the GCS\n";
   std::cout << "(all members sending round-robin, 5k msg/s offered)\n";
+  obs::BenchArtifact art("total_order");
+  art.config("messages") = 300;
+  obs::Registry reg;
   Table t({"group size", "avg TO latency (ms)", "msgs/s", "orders agree"});
   for (int n : {2, 4, 8, 12}) {
-    const Result r = run_case(n, 300);
+    const Result r = run_case(n, 300, art, reg);
     t.row(n, r.avg_latency_ms, r.msgs_per_sec, r.agreed ? "yes" : "NO");
+    obs::JsonValue& row = art.add_result();
+    row["group_size"] = n;
+    row["avg_to_latency_ms"] = r.avg_latency_ms;
+    row["msgs_per_sec"] = r.msgs_per_sec;
+    row["orders_agree"] = r.agreed;
   }
   t.print("total order throughput / latency");
+  art.set_metrics(reg);
+  art.write_file();
 
   std::cout << "\nShape check: TO latency ~ 2 hops (data + sequencer order "
                "message), flat-ish in group size; every member sees the "

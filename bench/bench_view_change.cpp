@@ -23,14 +23,23 @@ namespace {
 constexpr sim::Time kLatency = 25 * sim::kMillisecond;
 constexpr sim::Time kMembershipRound = 2 * kLatency;
 
+/// When `timeline` is non-null, the run additionally records every trace
+/// event (for the Chrome-trace/JSONL export) and derives metrics into `reg`.
 template <typename WorldT>
-double measure_view_change(int n) {
+double measure_view_change(int n, obs::BenchArtifact& art, obs::Registry* reg,
+                           obs::TraceRecorder* timeline) {
   net::Network::Config net_cfg;
   net_cfg.base_latency = kLatency;
   net_cfg.jitter = 0;
+  std::unique_ptr<obs::MetricsCollector> collector;
   WorldT w(n, net_cfg);
   ViewTimeRecorder rec;
   w.trace.subscribe(rec);
+  if (timeline != nullptr) w.trace.subscribe(*timeline);
+  if (reg != nullptr) {
+    collector = std::make_unique<obs::MetricsCollector>(*reg);
+    w.trace.subscribe(*collector);
+  }
 
   // Initial convergence.
   w.schedule_change(0, kMembershipRound, w.all());
@@ -45,6 +54,9 @@ double measure_view_change(int n) {
   w.schedule_change(t0, kMembershipRound, w.all());
   w.run_until(t0 + 30 * sim::kSecond);
 
+  if (reg != nullptr) record_network_stats(*reg, w.network);
+
+  art.tally(w.sim);
   // Latency = last member's installation of the new view, relative to t0.
   sim::Time latest = -1;
   for (const auto& [p, list] : rec.views) {
@@ -63,13 +75,40 @@ int main() {
             << " ms, membership server round = " << ms(kMembershipRound)
             << " ms\n";
 
+  obs::BenchArtifact art("view_change");
+  art.config("client_latency_ms") = ms(kLatency);
+  art.config("membership_round_ms") = ms(kMembershipRound);
+  obs::Registry reg;
+  obs::TraceRecorder timeline;
+
   Table t({"group size", "ours (ms)", "baseline (ms)", "speedup"});
   for (int n : {2, 3, 4, 6, 8, 12, 16, 24}) {
-    const double ours = measure_view_change<GcsBenchWorld>(n);
-    const double base = measure_view_change<BaselineBenchWorld>(n);
+    // The n=4 run of the paper's algorithm doubles as the exported timeline:
+    // its Chrome trace shows the VS round overlapping the membership round.
+    const bool exported = n == 4;
+    const double ours = measure_view_change<GcsBenchWorld>(
+        n, art, exported ? &reg : nullptr, exported ? &timeline : nullptr);
+    const double base =
+        measure_view_change<BaselineBenchWorld>(n, art, nullptr, nullptr);
     t.row(n, ours, base, base / ours);
+    obs::JsonValue& row = art.add_result();
+    row["group_size"] = n;
+    row["ours_ms"] = ours;
+    row["baseline_ms"] = base;
+    row["speedup"] = base / ours;
   }
   t.print("view-change latency vs group size");
+
+  art.set_metrics(reg);
+  const std::string dir = obs::BenchArtifact::output_dir();
+  if (timeline.write_chrome_trace_file(dir + "/TRACE_view_change.json") &&
+      timeline.write_jsonl_file(dir + "/TRACE_view_change.jsonl")) {
+    std::cout << "[artifact] wrote " << dir
+              << "/TRACE_view_change.json (open in https://ui.perfetto.dev)\n";
+  } else {
+    std::cerr << "obs: cannot write " << dir << "/TRACE_view_change.*\n";
+  }
+  art.write_file();
 
   std::cout << "\nShape check: ours ~ max(membership round, one client "
                "round); baseline ~ membership + two client rounds.\n";

@@ -11,6 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "gcs/vs_rfifo_ts_endpoint.hpp"
+#include "net/network.hpp"
+#include "obs/artifact.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_collector.hpp"
+#include "obs/trace_recorder.hpp"
 #include "sim/time.hpp"
 #include "spec/events.hpp"
 
@@ -87,7 +93,7 @@ class ViewTimeRecorder : public spec::TraceSink {
       block_at[b->p] = ev.at;
     } else if (const auto* bo = std::get_if<spec::GcsBlockOk>(&ev.body)) {
       (void)bo;
-    } else if (const auto* d = std::get_if<spec::GcsDeliver>(&ev.body)) {
+    } else if (std::get_if<spec::GcsDeliver>(&ev.body) != nullptr) {
       deliveries.push_back(ev.at);
     }
   }
@@ -112,5 +118,28 @@ class ViewTimeRecorder : public spec::TraceSink {
   std::map<ProcessId, sim::Time> block_at;
   std::vector<sim::Time> deliveries;
 };
+
+/// Fold a network's packet/byte stats into a registry (counters aggregate
+/// across every world one bench runs).
+inline void record_network_stats(obs::Registry& reg, const net::Network& net) {
+  const net::Network::Stats& s = net.stats();
+  reg.counter("net.packets_sent").inc(s.packets_sent);
+  reg.counter("net.packets_delivered").inc(s.packets_delivered);
+  reg.counter("net.packets_dropped").inc(s.packets_dropped);
+  reg.counter("net.bytes_sent").inc(s.bytes_sent);
+}
+
+/// Fold one end-point's VS-layer stats into a registry, labeled by process —
+/// this is where forwarding fan-out and sync cost reach the artifact (they
+/// are internal actions, invisible on the trace bus).
+inline void record_vs_stats(obs::Registry& reg, ProcessId p,
+                            const gcs::VsRfifoTsEndpoint::VsStats& s) {
+  const obs::Labels labels = obs::process_labels(p.value);
+  reg.counter("gcs.sync_msgs_sent", labels).inc(s.sync_msgs_sent);
+  reg.counter("gcs.sync_msgs_received", labels).inc(s.sync_msgs_received);
+  reg.counter("gcs.sync_bytes_sent", labels).inc(s.sync_bytes_sent);
+  reg.counter("gcs.aggregates_relayed", labels).inc(s.aggregates_relayed);
+  reg.counter("gcs.forwards_sent", labels).inc(s.forwards_sent);
+}
 
 }  // namespace vsgc::bench

@@ -22,6 +22,7 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "spec/events.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace vsgc::bench {
@@ -88,6 +89,8 @@ struct OracleBenchWorldBase {
   void run_until(sim::Time t) { sim.run_until(t); }
 
   sim::Simulator sim;
+  /// Log lines carry simulated timestamps while this world is alive.
+  ScopedSimClock log_clock{[this] { return sim.now(); }};
   spec::TraceBus trace;
   net::Network network;
   membership::OracleMembership oracle;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI entry point: sanitized debug build, full test suite, then one bench run
+# whose BENCH_*.json artifact is schema-checked. Mirrors what a reviewer
+# should run before merging.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure (Debug + ASan/UBSan) =="
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== bench smoke + artifact validation =="
+ARTIFACT_DIR="$BUILD_DIR/artifacts"
+mkdir -p "$ARTIFACT_DIR"
+VSGC_BENCH_OUT="$ARTIFACT_DIR" "$BUILD_DIR/bench/bench_view_change"
+"$BUILD_DIR/tools/validate_bench_json" "$ARTIFACT_DIR"/BENCH_*.json
+
+echo "== trace determinism =="
+# Same binary, same seed: the JSONL trace must be byte-identical.
+ARTIFACT_DIR2="$BUILD_DIR/artifacts2"
+mkdir -p "$ARTIFACT_DIR2"
+VSGC_BENCH_OUT="$ARTIFACT_DIR2" "$BUILD_DIR/bench/bench_view_change" > /dev/null
+cmp "$ARTIFACT_DIR/TRACE_view_change.jsonl" "$ARTIFACT_DIR2/TRACE_view_change.jsonl"
+echo "TRACE_view_change.jsonl byte-identical across runs"
+
+echo "CI OK"

@@ -14,6 +14,7 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "spec/all_checkers.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace vsgc::app {
@@ -121,6 +122,8 @@ class World {
  private:
   WorldConfig config_;
   sim::Simulator sim_;
+  /// Log lines carry simulated timestamps while this world is alive.
+  ScopedSimClock log_clock_{[this] { return sim_.now(); }};
   spec::TraceBus trace_;
   spec::AllCheckers checkers_;
   std::unique_ptr<net::Network> network_;

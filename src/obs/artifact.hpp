@@ -1,0 +1,71 @@
+// BenchArtifact: the shared machine-readable run artifact every bench binary
+// writes next to its human-readable table (the BENCH_<name>.json perf
+// trajectory required by ROADMAP.md).
+//
+// Schema (validated by tools/validate_bench_json.cpp, documented in README):
+//   {
+//     "bench": "<name>",            // artifact identity
+//     "schema_version": 1,
+//     "config": { ... },            // echo of the bench's parameters
+//     "results": [ {...}, ... ],    // one object per measured case
+//     "metrics": {                  // obs::Registry dump (counters/gauges/
+//       "counters": [...], ... },   //   histograms), empty sections if unused
+//     "sim": {                      // simulator instrumentation, aggregated
+//       "events_executed": N,       //   over every world the bench ran
+//       "peak_queue_depth": N,
+//       "sim_time_us": N,
+//       "wall_time_seconds": X,         // host-dependent; excluded from
+//       "events_per_wall_second": X,    //   determinism comparisons
+//       "wall_seconds_per_sim_second": X
+//     }
+//   }
+// Output path: $VSGC_BENCH_OUT/BENCH_<name>.json (or ./BENCH_<name>.json).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace vsgc::obs {
+
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name);
+
+  /// Echo a bench parameter into the "config" section.
+  JsonValue& config(const std::string& key) { return root_["config"][key]; }
+
+  /// Append one measured case; fill the returned object with its fields.
+  JsonValue& add_result() { return root_["results"].push_back(JsonValue::object()); }
+
+  /// Fold one finished world's simulator stats into the "sim" section.
+  void tally(const sim::Simulator& sim);
+
+  /// Install a registry dump as the "metrics" section (replaces any prior).
+  void set_metrics(const Registry& registry) {
+    root_["metrics"] = registry.to_json();
+  }
+
+  const JsonValue& root() const { return root_; }
+
+  /// Finalize wall-clock stats and write BENCH_<name>.json. Returns the path
+  /// written, or an empty string on I/O failure.
+  std::string write_file();
+
+  /// Directory artifacts go to: $VSGC_BENCH_OUT or ".".
+  static std::string output_dir();
+
+ private:
+  std::string name_;
+  JsonValue root_;
+  std::chrono::steady_clock::time_point started_;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t events_cancelled_ = 0;
+  std::uint64_t peak_queue_depth_ = 0;
+  std::int64_t sim_time_us_ = 0;
+};
+
+}  // namespace vsgc::obs

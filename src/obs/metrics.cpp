@@ -1,0 +1,70 @@
+#include "obs/metrics.hpp"
+
+namespace vsgc::obs {
+
+namespace {
+
+JsonValue labels_json(const Labels& labels) {
+  JsonValue out = JsonValue::object();
+  for (const auto& [k, v] : labels) out[k] = v;
+  return out;
+}
+
+}  // namespace
+
+JsonValue Registry::to_json() const {
+  JsonValue root = JsonValue::object();
+
+  JsonValue& counters = root["counters"];
+  counters = JsonValue::array();
+  for (const auto& [key, c] : counters_) {
+    JsonValue row = JsonValue::object();
+    row["name"] = key.name;
+    row["labels"] = labels_json(key.labels);
+    row["value"] = c.value();
+    counters.push_back(std::move(row));
+  }
+
+  JsonValue& gauges = root["gauges"];
+  gauges = JsonValue::array();
+  for (const auto& [key, g] : gauges_) {
+    JsonValue row = JsonValue::object();
+    row["name"] = key.name;
+    row["labels"] = labels_json(key.labels);
+    row["value"] = g.value();
+    gauges.push_back(std::move(row));
+  }
+
+  JsonValue& histograms = root["histograms"];
+  histograms = JsonValue::array();
+  for (const auto& [key, h] : histograms_) {
+    JsonValue row = JsonValue::object();
+    row["name"] = key.name;
+    row["labels"] = labels_json(key.labels);
+    row["count"] = h.count();
+    row["sum"] = h.sum();
+    row["min"] = h.min();
+    row["max"] = h.max();
+    row["mean"] = h.mean();
+    row["p50"] = h.quantile(0.50);
+    row["p90"] = h.quantile(0.90);
+    row["p99"] = h.quantile(0.99);
+    histograms.push_back(std::move(row));
+  }
+
+  return root;
+}
+
+std::uint64_t Registry::counter_total(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : counters_) {
+    if (key.name == name) total += c.value();
+  }
+  return total;
+}
+
+Labels process_labels(std::uint32_t process_value) {
+  return {{"process", "p" + std::to_string(process_value)}};
+}
+
+}  // namespace vsgc::obs

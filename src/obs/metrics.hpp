@@ -1,0 +1,146 @@
+// Metric primitives and the Registry: named counters, gauges, and
+// log2-bucketed histograms with per-process labels.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//  * Zero cost when unused — nothing here touches protocol hot paths;
+//    components increment metrics only when a collector subscribed.
+//  * Deterministic export — metrics iterate in (name, labels) order and all
+//    stored quantities are integers (simulated-time microseconds, counts,
+//    bytes), so a registry dump is a pure function of the execution.
+//  * Stable references — registering returns a reference that stays valid
+//    for the registry's lifetime; callers cache it and pay one map lookup
+//    ever, not one per increment.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace vsgc::obs {
+
+/// Label set attached to a metric instance, e.g. {{"process", "p1"}}.
+/// std::map so iteration (and therefore export) order is deterministic.
+using Labels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void max_of(std::int64_t v) { value_ = std::max(value_, v); }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Histogram over non-negative integer samples with logarithmic (power of
+/// two) buckets: bucket 0 holds 0, bucket i >= 1 holds [2^(i-1), 2^i).
+/// Exact count/sum/min/max are tracked alongside, so means are exact and
+/// only percentiles carry bucket resolution (< 2x error).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::int64_t sample) {
+    const std::uint64_t v = sample < 0 ? 0 : static_cast<std::uint64_t>(sample);
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  static int bucket_of(std::uint64_t v) {
+    return v == 0 ? 0 : std::bit_width(v);
+  }
+  /// Inclusive upper bound of bucket `i` (its reported representative).
+  static std::uint64_t bucket_upper(int i) {
+    return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile sample (q in [0,1]).
+  std::uint64_t quantile(double q) const {
+    if (count_ == 0) return 0;
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int i = 0; i <= kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > rank) return std::min(bucket_upper(i), max_);
+    }
+    return max_;
+  }
+
+  const std::uint64_t* buckets() const { return buckets_; }
+
+ private:
+  std::uint64_t buckets_[kBuckets + 1] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+/// Owns every metric of one run. Node-based maps keep references stable.
+class Registry {
+ public:
+  Counter& counter(const std::string& name, Labels labels = {}) {
+    return counters_[Key{name, std::move(labels)}];
+  }
+  Gauge& gauge(const std::string& name, Labels labels = {}) {
+    return gauges_[Key{name, std::move(labels)}];
+  }
+  Histogram& histogram(const std::string& name, Labels labels = {}) {
+    return histograms_[Key{name, std::move(labels)}];
+  }
+
+  /// Deterministic JSON export:
+  /// { "counters": [{"name","labels","value"}...],
+  ///   "gauges":   [{"name","labels","value"}...],
+  ///   "histograms": [{"name","labels","count","sum","min","max","mean",
+  ///                   "p50","p90","p99"}...] }
+  JsonValue to_json() const;
+
+  /// Sum of all counters with this name across label sets (e.g. all
+  /// processes), for quick assertions and table rows.
+  std::uint64_t counter_total(const std::string& name) const;
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;
+    bool operator<(const Key& o) const {
+      return name != o.name ? name < o.name : labels < o.labels;
+    }
+  };
+
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, Histogram> histograms_;
+};
+
+/// Conventional label set for per-process metrics.
+Labels process_labels(std::uint32_t process_value);
+
+}  // namespace vsgc::obs

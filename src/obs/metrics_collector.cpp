@@ -1,0 +1,107 @@
+#include "obs/metrics_collector.hpp"
+
+namespace vsgc::obs {
+
+void MetricsCollector::on_event(const spec::Event& event) {
+  const sim::Time at = event.at;
+
+  if (const auto* s = std::get_if<spec::GcsSend>(&event.body)) {
+    const Labels labels = process_labels(s->p.value);
+    registry_.counter("gcs.msgs_sent", labels).inc();
+    registry_.counter("gcs.payload_bytes_sent", labels)
+        .inc(s->msg.payload.size());
+    return;
+  }
+
+  if (const auto* d = std::get_if<spec::GcsDeliver>(&event.body)) {
+    const Labels labels = process_labels(d->p.value);
+    registry_.counter("gcs.msgs_delivered", labels).inc();
+    registry_.counter("gcs.payload_bytes_delivered", labels)
+        .inc(d->msg.payload.size());
+    ++state(d->p).deliveries_in_view;
+    return;
+  }
+
+  if (const auto* sc = std::get_if<spec::MbrStartChange>(&event.body)) {
+    registry_.counter("mbr.start_changes", process_labels(sc->p.value)).inc();
+    PerProcess& st = state(sc->p);
+    if (!st.change_started_at) st.change_started_at = at;
+    st.mbr_round_started_at = at;
+    ++st.start_changes_since_install;
+    return;
+  }
+
+  if (const auto* mv = std::get_if<spec::MbrView>(&event.body)) {
+    registry_.counter("mbr.views", process_labels(mv->p.value)).inc();
+    PerProcess& st = state(mv->p);
+    if (st.mbr_round_started_at) {
+      registry_.histogram("mbr.round_us")
+          .observe(at - *st.mbr_round_started_at);
+      st.mbr_round_started_at.reset();
+    }
+    st.pending_mbr_views.push_back(mv->view.id);
+    return;
+  }
+
+  if (const auto* v = std::get_if<spec::GcsView>(&event.body)) {
+    const Labels labels = process_labels(v->p.value);
+    registry_.counter("gcs.views_installed", labels).inc();
+    PerProcess& st = state(v->p);
+    if (st.change_started_at) {
+      registry_.histogram("gcs.view_change_latency_us")
+          .observe(at - *st.change_started_at);
+      st.change_started_at.reset();
+    }
+    if (st.blocked_at) {
+      registry_.histogram("gcs.blocking_window_us")
+          .observe(at - *st.blocked_at);
+      st.blocked_at.reset();
+    }
+    if (st.start_changes_since_install > 0) {
+      registry_.histogram("gcs.sync_rounds_per_view")
+          .observe(static_cast<std::int64_t>(st.start_changes_since_install));
+      st.start_changes_since_install = 0;
+    }
+    // Every membership view announced since the last install that is not the
+    // one being installed was superseded before the application saw it.
+    for (ViewId pending : st.pending_mbr_views) {
+      if (!(pending == v->view.id)) {
+        registry_.counter("gcs.obsolete_views", labels).inc();
+      }
+    }
+    st.pending_mbr_views.clear();
+    if (st.in_view) {
+      registry_.histogram("gcs.msgs_per_view").observe(
+          static_cast<std::int64_t>(st.deliveries_in_view));
+    }
+    st.deliveries_in_view = 0;
+    st.in_view = true;
+    return;
+  }
+
+  if (const auto* b = std::get_if<spec::GcsBlock>(&event.body)) {
+    registry_.counter("gcs.blocks", process_labels(b->p.value)).inc();
+    state(b->p).blocked_at = at;
+    return;
+  }
+
+  if (const auto* bo = std::get_if<spec::GcsBlockOk>(&event.body)) {
+    registry_.counter("gcs.block_oks", process_labels(bo->p.value)).inc();
+    return;
+  }
+
+  if (const auto* c = std::get_if<spec::Crash>(&event.body)) {
+    registry_.counter("crashes", process_labels(c->p.value)).inc();
+    // A crash wipes the process; half-open intervals must not pair with
+    // post-recovery events.
+    per_process_.erase(c->p);
+    return;
+  }
+
+  if (const auto* r = std::get_if<spec::Recover>(&event.body)) {
+    registry_.counter("recoveries", process_labels(r->p.value)).inc();
+    return;
+  }
+}
+
+}  // namespace vsgc::obs

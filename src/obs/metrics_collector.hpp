@@ -1,0 +1,60 @@
+// MetricsCollector: subscribes to the spec::TraceBus and derives the paper's
+// headline metrics automatically — no protocol code knows it exists.
+//
+// Derived from the external-action trace alone (event vocabulary of
+// src/spec/events.hpp):
+//   * gcs.msgs_sent / gcs.msgs_delivered / gcs.payload_bytes_{sent,delivered}
+//     — per-process counters of application traffic.
+//   * mbr.start_changes / mbr.views / gcs.views_installed / gcs.blocks /
+//     crashes / recoveries — per-process counters of control actions.
+//   * gcs.view_change_latency_us — histogram, first MBRSHP.start_change of a
+//     reconfiguration at p until GCS.view at p (the paper's E1 metric: should
+//     track max(membership round, one client round), not their sum).
+//   * mbr.round_us — histogram, MBRSHP.start_change until MBRSHP.view at p
+//     (the modeled/real membership servers' round).
+//   * gcs.blocking_window_us — histogram, GCS.block at p until the next
+//     GCS.view at p (the E6 bounded-blocking claim).
+//   * gcs.sync_rounds_per_view — histogram, number of start_change
+//     notifications p consumed per installed view (1 in steady state; >1
+//     under cascades the algorithm collapses).
+//   * gcs.obsolete_views — counter, MBRSHP views superseded before p
+//     installed them (the E5 "never delivers obsolete views" claim: ours
+//     should absorb these silently; the baseline pays a view handler each).
+//   * gcs.msgs_per_view — histogram, deliveries at p within one view.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "spec/events.hpp"
+
+namespace vsgc::obs {
+
+class MetricsCollector : public spec::TraceSink {
+ public:
+  explicit MetricsCollector(Registry& registry) : registry_(registry) {}
+
+  void on_event(const spec::Event& event) override;
+
+  Registry& registry() { return registry_; }
+
+ private:
+  struct PerProcess {
+    std::optional<sim::Time> change_started_at;  ///< first start_change since last install
+    std::optional<sim::Time> mbr_round_started_at;
+    std::optional<sim::Time> blocked_at;
+    std::uint64_t start_changes_since_install = 0;
+    std::uint64_t deliveries_in_view = 0;
+    bool in_view = false;
+    std::vector<ViewId> pending_mbr_views;  ///< announced but not yet installed
+  };
+
+  PerProcess& state(ProcessId p) { return per_process_[p]; }
+
+  Registry& registry_;
+  std::map<ProcessId, PerProcess> per_process_;
+};
+
+}  // namespace vsgc::obs

@@ -1,0 +1,373 @@
+#include "obs/trace_recorder.hpp"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+namespace vsgc::obs {
+
+namespace {
+
+JsonValue pid_set_json(const std::set<ProcessId>& set) {
+  JsonValue arr = JsonValue::array();
+  for (ProcessId p : set) arr.push_back(p.value);
+  return arr;
+}
+
+bool pid_set_from_json(const JsonValue& arr, std::set<ProcessId>* out) {
+  if (!arr.is_array()) return false;
+  for (const JsonValue& item : arr.items()) {
+    if (!item.is_int()) return false;
+    out->insert(ProcessId{static_cast<std::uint32_t>(item.as_int())});
+  }
+  return true;
+}
+
+JsonValue view_json(const View& v) {
+  JsonValue out = JsonValue::object();
+  out["epoch"] = v.id.epoch;
+  out["origin"] = v.id.origin;
+  out["members"] = pid_set_json(v.members);
+  JsonValue& sid = out["start_id"];
+  sid = JsonValue::object();
+  for (const auto& [p, cid] : v.start_id) {
+    sid[std::to_string(p.value)] = cid.value;
+  }
+  return out;
+}
+
+bool view_from_json(const JsonValue& j, View* out) {
+  const JsonValue* epoch = j.find("epoch");
+  const JsonValue* origin = j.find("origin");
+  const JsonValue* members = j.find("members");
+  const JsonValue* sid = j.find("start_id");
+  if (epoch == nullptr || origin == nullptr || members == nullptr ||
+      sid == nullptr || !epoch->is_int() || !origin->is_int() ||
+      !sid->is_object()) {
+    return false;
+  }
+  out->id.epoch = static_cast<std::uint64_t>(epoch->as_int());
+  out->id.origin = static_cast<std::uint32_t>(origin->as_int());
+  if (!pid_set_from_json(*members, &out->members)) return false;
+  for (const auto& [key, cid] : sid->members()) {
+    if (!cid.is_int()) return false;
+    out->start_id[ProcessId{
+        static_cast<std::uint32_t>(std::stoul(key))}] =
+        StartChangeId{static_cast<std::uint64_t>(cid.as_int())};
+  }
+  return true;
+}
+
+JsonValue msg_json(const gcs::AppMsg& m) {
+  JsonValue out = JsonValue::object();
+  out["sender"] = m.sender.value;
+  out["uid"] = m.uid;
+  out["payload"] = m.payload;
+  return out;
+}
+
+bool msg_from_json(const JsonValue& j, gcs::AppMsg* out) {
+  const JsonValue* sender = j.find("sender");
+  const JsonValue* uid = j.find("uid");
+  const JsonValue* payload = j.find("payload");
+  if (sender == nullptr || uid == nullptr || payload == nullptr ||
+      !sender->is_int() || !uid->is_int() || !payload->is_string()) {
+    return false;
+  }
+  out->sender = ProcessId{static_cast<std::uint32_t>(sender->as_int())};
+  out->uid = static_cast<std::uint64_t>(uid->as_int());
+  out->payload = payload->as_string();
+  return true;
+}
+
+}  // namespace
+
+JsonValue event_to_json(const spec::Event& event) {
+  JsonValue out = JsonValue::object();
+  out["at"] = event.at;
+
+  if (const auto* s = std::get_if<spec::GcsSend>(&event.body)) {
+    out["type"] = "gcs_send";
+    out["p"] = s->p.value;
+    out["msg"] = msg_json(s->msg);
+  } else if (const auto* d = std::get_if<spec::GcsDeliver>(&event.body)) {
+    out["type"] = "gcs_deliver";
+    out["p"] = d->p.value;
+    out["q"] = d->q.value;
+    out["msg"] = msg_json(d->msg);
+  } else if (const auto* v = std::get_if<spec::GcsView>(&event.body)) {
+    out["type"] = "gcs_view";
+    out["p"] = v->p.value;
+    out["view"] = view_json(v->view);
+    out["transitional"] = pid_set_json(v->transitional);
+  } else if (const auto* b = std::get_if<spec::GcsBlock>(&event.body)) {
+    out["type"] = "gcs_block";
+    out["p"] = b->p.value;
+  } else if (const auto* bo = std::get_if<spec::GcsBlockOk>(&event.body)) {
+    out["type"] = "gcs_block_ok";
+    out["p"] = bo->p.value;
+  } else if (const auto* sc = std::get_if<spec::MbrStartChange>(&event.body)) {
+    out["type"] = "mbr_start_change";
+    out["p"] = sc->p.value;
+    out["cid"] = sc->cid.value;
+    out["set"] = pid_set_json(sc->set);
+  } else if (const auto* mv = std::get_if<spec::MbrView>(&event.body)) {
+    out["type"] = "mbr_view";
+    out["p"] = mv->p.value;
+    out["view"] = view_json(mv->view);
+  } else if (const auto* c = std::get_if<spec::Crash>(&event.body)) {
+    out["type"] = "crash";
+    out["p"] = c->p.value;
+  } else if (const auto* r = std::get_if<spec::Recover>(&event.body)) {
+    out["type"] = "recover";
+    out["p"] = r->p.value;
+  }
+  return out;
+}
+
+bool event_from_json(const JsonValue& record, spec::Event* out) {
+  const JsonValue* at = record.find("at");
+  const JsonValue* type = record.find("type");
+  const JsonValue* p = record.find("p");
+  if (at == nullptr || type == nullptr || p == nullptr || !at->is_int() ||
+      !type->is_string() || !p->is_int()) {
+    return false;
+  }
+  out->at = at->as_int();
+  const ProcessId pid{static_cast<std::uint32_t>(p->as_int())};
+  const std::string& t = type->as_string();
+
+  if (t == "gcs_send") {
+    spec::GcsSend body{pid, {}};
+    const JsonValue* msg = record.find("msg");
+    if (msg == nullptr || !msg_from_json(*msg, &body.msg)) return false;
+    out->body = std::move(body);
+  } else if (t == "gcs_deliver") {
+    spec::GcsDeliver body{pid, {}, {}};
+    const JsonValue* q = record.find("q");
+    const JsonValue* msg = record.find("msg");
+    if (q == nullptr || !q->is_int() || msg == nullptr ||
+        !msg_from_json(*msg, &body.msg)) {
+      return false;
+    }
+    body.q = ProcessId{static_cast<std::uint32_t>(q->as_int())};
+    out->body = std::move(body);
+  } else if (t == "gcs_view") {
+    spec::GcsView body{pid, {}, {}};
+    const JsonValue* view = record.find("view");
+    const JsonValue* trans = record.find("transitional");
+    if (view == nullptr || !view_from_json(*view, &body.view) ||
+        trans == nullptr || !pid_set_from_json(*trans, &body.transitional)) {
+      return false;
+    }
+    out->body = std::move(body);
+  } else if (t == "gcs_block") {
+    out->body = spec::GcsBlock{pid};
+  } else if (t == "gcs_block_ok") {
+    out->body = spec::GcsBlockOk{pid};
+  } else if (t == "mbr_start_change") {
+    spec::MbrStartChange body{pid, {}, {}};
+    const JsonValue* cid = record.find("cid");
+    const JsonValue* set = record.find("set");
+    if (cid == nullptr || !cid->is_int() || set == nullptr ||
+        !pid_set_from_json(*set, &body.set)) {
+      return false;
+    }
+    body.cid = StartChangeId{static_cast<std::uint64_t>(cid->as_int())};
+    out->body = std::move(body);
+  } else if (t == "mbr_view") {
+    spec::MbrView body{pid, {}};
+    const JsonValue* view = record.find("view");
+    if (view == nullptr || !view_from_json(*view, &body.view)) return false;
+    out->body = std::move(body);
+  } else if (t == "crash") {
+    out->body = spec::Crash{pid};
+  } else if (t == "recover") {
+    out->body = spec::Recover{pid};
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void write_jsonl(const std::vector<spec::Event>& events, std::ostream& os) {
+  for (const spec::Event& ev : events) {
+    event_to_json(ev).write(os);
+    os << '\n';
+  }
+}
+
+bool read_jsonl(std::istream& is, std::vector<spec::Event>* out) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::string error;
+    const JsonValue record = JsonValue::parse(line, &error);
+    spec::Event ev;
+    if (!record.is_object() || !event_from_json(record, &ev)) return false;
+    out->push_back(std::move(ev));
+  }
+  return true;
+}
+
+namespace {
+
+/// Appends one Chrome-trace event object to `arr`.
+/// Phases used: "X" complete span (ts+dur), "i" instant, "M" metadata.
+void span(JsonValue& arr, std::uint32_t pid, int tid, const std::string& name,
+          sim::Time ts, sim::Time dur) {
+  JsonValue ev = JsonValue::object();
+  ev["name"] = name;
+  ev["ph"] = "X";
+  ev["pid"] = pid;
+  ev["tid"] = tid;
+  ev["ts"] = ts;
+  ev["dur"] = dur < 1 ? 1 : dur;  // zero-width spans vanish in the UI
+  arr.push_back(std::move(ev));
+}
+
+void instant(JsonValue& arr, std::uint32_t pid, int tid,
+             const std::string& name, sim::Time ts) {
+  JsonValue ev = JsonValue::object();
+  ev["name"] = name;
+  ev["ph"] = "i";
+  ev["s"] = "t";
+  ev["pid"] = pid;
+  ev["tid"] = tid;
+  ev["ts"] = ts;
+  arr.push_back(std::move(ev));
+}
+
+void metadata(JsonValue& arr, std::uint32_t pid, std::optional<int> tid,
+              const std::string& what, const std::string& name) {
+  JsonValue ev = JsonValue::object();
+  ev["name"] = what;
+  ev["ph"] = "M";
+  ev["pid"] = pid;
+  if (tid) ev["tid"] = *tid;
+  JsonValue& args = ev["args"];
+  args = JsonValue::object();
+  args["name"] = name;
+  arr.push_back(std::move(ev));
+}
+
+constexpr int kTidMembership = 0;
+constexpr int kTidVs = 1;
+constexpr int kTidApp = 2;
+
+struct OpenSpans {
+  std::optional<std::pair<sim::Time, std::string>> mbr_round;
+  std::optional<sim::Time> view_change;
+  std::optional<sim::Time> blocked;
+};
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<spec::Event>& events,
+                        std::ostream& os) {
+  // Built as a local and attached at the end: references returned by
+  // operator[] are invalidated by later insertions into the same object.
+  JsonValue arr = JsonValue::array();
+
+  std::map<ProcessId, OpenSpans> open;
+  std::set<ProcessId> seen;
+
+  auto track = [&](ProcessId p) -> OpenSpans& {
+    if (seen.insert(p).second) {
+      metadata(arr, p.value, std::nullopt, "process_name", to_string(p));
+      metadata(arr, p.value, kTidMembership, "thread_name", "membership round");
+      metadata(arr, p.value, kTidVs, "thread_name", "view change (VS round)");
+      metadata(arr, p.value, kTidApp, "thread_name", "application");
+    }
+    return open[p];
+  };
+
+  for (const spec::Event& ev : events) {
+    if (const auto* sc = std::get_if<spec::MbrStartChange>(&ev.body)) {
+      OpenSpans& st = track(sc->p);
+      if (st.mbr_round) {
+        // A superseding start_change: close the old round span as obsolete.
+        span(arr, sc->p.value, kTidMembership,
+             st.mbr_round->second + " (superseded)", st.mbr_round->first,
+             ev.at - st.mbr_round->first);
+      }
+      st.mbr_round = {ev.at, "mbrshp round " + to_string(sc->cid)};
+      if (!st.view_change) st.view_change = ev.at;
+    } else if (const auto* mv = std::get_if<spec::MbrView>(&ev.body)) {
+      OpenSpans& st = track(mv->p);
+      if (st.mbr_round) {
+        span(arr, mv->p.value, kTidMembership,
+             st.mbr_round->second + " -> " + to_string(mv->view.id),
+             st.mbr_round->first, ev.at - st.mbr_round->first);
+        st.mbr_round.reset();
+      }
+      instant(arr, mv->p.value, kTidMembership,
+              "mbrshp view " + to_string(mv->view.id), ev.at);
+    } else if (const auto* v = std::get_if<spec::GcsView>(&ev.body)) {
+      OpenSpans& st = track(v->p);
+      if (st.view_change) {
+        span(arr, v->p.value, kTidVs,
+             "view change -> " + to_string(v->view.id), *st.view_change,
+             ev.at - *st.view_change);
+        st.view_change.reset();
+      }
+      if (st.blocked) {
+        span(arr, v->p.value, kTidApp, "blocked", *st.blocked,
+             ev.at - *st.blocked);
+        st.blocked.reset();
+      }
+      instant(arr, v->p.value, kTidVs, "install " + to_string(v->view.id),
+              ev.at);
+    } else if (const auto* b = std::get_if<spec::GcsBlock>(&ev.body)) {
+      track(b->p).blocked = ev.at;
+    } else if (const auto* s = std::get_if<spec::GcsSend>(&ev.body)) {
+      track(s->p);
+      instant(arr, s->p.value, kTidApp,
+              "send uid=" + std::to_string(s->msg.uid), ev.at);
+    } else if (const auto* d = std::get_if<spec::GcsDeliver>(&ev.body)) {
+      track(d->p);
+      instant(arr, d->p.value, kTidApp,
+              "deliver " + to_string(d->q) + "/" + std::to_string(d->msg.uid),
+              ev.at);
+    } else if (const auto* c = std::get_if<spec::Crash>(&ev.body)) {
+      OpenSpans& st = track(c->p);
+      st = OpenSpans{};
+      instant(arr, c->p.value, kTidApp, "CRASH", ev.at);
+    } else if (const auto* r = std::get_if<spec::Recover>(&ev.body)) {
+      track(r->p);
+      instant(arr, r->p.value, kTidApp, "recover", ev.at);
+    }
+  }
+
+  JsonValue root = JsonValue::object();
+  root["traceEvents"] = std::move(arr);
+  root["displayTimeUnit"] = "ms";
+  root.write_pretty(os);
+  os << '\n';
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os) const {
+  obs::write_jsonl(events_, os);
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  obs::write_chrome_trace(events_, os);
+}
+
+bool TraceRecorder::write_jsonl_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_jsonl(os);
+  return static_cast<bool>(os);
+}
+
+bool TraceRecorder::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace vsgc::obs

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/logging.hpp"
 
 namespace vsgc::sim {
 
@@ -39,13 +40,34 @@ class TimerHandle {
   std::weak_ptr<bool> alive_;
 };
 
+/// Outcome of run_to_quiescence: how many events ran and whether the run
+/// actually drained the queue or was cut off by the runaway cap. Converts to
+/// the executed count so existing `std::size_t n = sim.run_to_quiescence()`
+/// call sites keep working.
+struct QuiescenceResult {
+  std::size_t executed = 0;
+  bool capped = false;  ///< the max_events safety cap fired; queue NOT drained
+
+  operator std::size_t() const { return executed; }
+};
+
 class Simulator {
  public:
+  /// Kernel instrumentation, exported through obs::BenchArtifact. Kept to
+  /// plain increments on the scheduling path so it costs nothing measurable.
+  struct Stats {
+    std::uint64_t events_scheduled = 0;
+    std::uint64_t events_executed = 0;
+    std::uint64_t events_cancelled = 0;  ///< popped after TimerHandle::cancel
+    std::size_t peak_queue_depth = 0;
+  };
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return now_; }
+  const Stats& stats() const { return stats_; }
 
   /// Schedule `fn` to run at now() + delay (delay >= 0).
   TimerHandle schedule(Time delay, std::function<void()> fn) {
@@ -55,6 +77,10 @@ class Simulator {
   TimerHandle schedule_at(Time when, std::function<void()> fn) {
     auto alive = std::make_shared<bool>(true);
     queue_.push(Event{when, next_seq_++, alive, std::move(fn)});
+    ++stats_.events_scheduled;
+    if (queue_.size() > stats_.peak_queue_depth) {
+      stats_.peak_queue_depth = queue_.size();
+    }
     return TimerHandle(alive);
   }
 
@@ -69,15 +95,23 @@ class Simulator {
     return executed;
   }
 
-  /// Run until no events remain (or the safety cap trips — runaway protection
-  /// for tests). Returns the number of events executed.
-  std::size_t run_to_quiescence(std::size_t max_events = 50'000'000) {
-    std::size_t executed = 0;
+  /// Run until no events remain, or the safety cap trips — runaway protection
+  /// for tests. A capped run is NOT quiescence: the result says so explicitly
+  /// and a warning is logged, instead of returning a count that looks like a
+  /// clean drain.
+  QuiescenceResult run_to_quiescence(std::size_t max_events = 50'000'000) {
+    QuiescenceResult result;
     while (!queue_.empty()) {
-      executed += step();
-      if (executed > max_events) return executed;
+      result.executed += step();
+      if (result.executed > max_events) {
+        result.capped = true;
+        VSGC_WARN("sim", "run_to_quiescence hit the " << max_events
+                         << "-event runaway cap at t=" << now_ << "us with "
+                         << queue_.size() << " events still pending");
+        return result;
+      }
     }
-    return executed;
+    return result;
   }
 
   bool quiescent() const { return queue_.empty(); }
@@ -101,17 +135,22 @@ class Simulator {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.when > now_ ? ev.when : now_;
-    if (!*ev.alive) return 0;
+    if (!*ev.alive) {
+      ++stats_.events_cancelled;
+      return 0;
+    }
     // Mark consumed before running: a handler that re-arms its own timer must
     // observe the old handle as no longer pending.
     *ev.alive = false;
     ev.fn();
+    ++stats_.events_executed;
     return 1;
   }
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  Stats stats_;
 };
 
 }  // namespace vsgc::sim

@@ -96,9 +96,38 @@ TEST(Simulator, RunawayCapBoundsExecution) {
   Simulator sim;
   std::function<void()> loop = [&] { sim.schedule(1, loop); };
   sim.schedule(1, loop);
-  const std::size_t executed = sim.run_to_quiescence(/*max_events=*/1000);
-  EXPECT_GT(executed, 1000u - 2);
-  EXPECT_LE(executed, 1002u);
+  const QuiescenceResult result = sim.run_to_quiescence(/*max_events=*/1000);
+  EXPECT_GT(result.executed, 1000u - 2);
+  EXPECT_LE(result.executed, 1002u);
+  EXPECT_TRUE(result.capped) << "a cap trip must be distinguishable";
+  EXPECT_FALSE(sim.quiescent());
+  // Implicit conversion keeps count-style call sites working.
+  const std::size_t as_count = sim.run_to_quiescence(/*max_events=*/1000);
+  EXPECT_GT(as_count, 0u);
+}
+
+TEST(Simulator, CleanDrainIsNotCapped) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1, [&] { ++fired; });
+  sim.schedule(2, [&] { ++fired; });
+  const QuiescenceResult result = sim.run_to_quiescence();
+  EXPECT_EQ(result.executed, 2u);
+  EXPECT_FALSE(result.capped);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StatsCountSchedulingAndExecution) {
+  Simulator sim;
+  sim.schedule(1, [] {});
+  sim.schedule(2, [] {});
+  TimerHandle h = sim.schedule(3, [] {});
+  h.cancel();
+  EXPECT_EQ(sim.stats().events_scheduled, 3u);
+  EXPECT_EQ(sim.stats().peak_queue_depth, 3u);
+  sim.run_to_quiescence();
+  EXPECT_EQ(sim.stats().events_executed, 2u);
+  EXPECT_EQ(sim.stats().events_cancelled, 1u);
 }
 
 TEST(Simulator, DeadlineAdvancesTimeWithoutEvents) {

@@ -1,0 +1,136 @@
+// Schema checker for BENCH_*.json run artifacts (used by ci.sh).
+//
+// Usage: validate_bench_json FILE [FILE...]
+// Exits 0 iff every file parses as JSON and matches the artifact schema
+// documented in src/obs/artifact.hpp; prints one line per file.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using vsgc::obs::JsonValue;
+
+struct Check {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  void require(bool cond, const std::string& what) {
+    if (!cond) {
+      ok = false;
+      problems.push_back(what);
+    }
+  }
+};
+
+Check validate(const JsonValue& root) {
+  Check c;
+  c.require(root.is_object(), "document is not a JSON object");
+  if (!root.is_object()) return c;
+
+  const JsonValue* bench = root.find("bench");
+  c.require(bench != nullptr && bench->is_string() &&
+                !bench->as_string().empty(),
+            "missing non-empty string field 'bench'");
+
+  const JsonValue* version = root.find("schema_version");
+  c.require(version != nullptr && version->is_int() && version->as_int() == 1,
+            "missing field 'schema_version' == 1");
+
+  const JsonValue* config = root.find("config");
+  c.require(config != nullptr && config->is_object(),
+            "missing object field 'config'");
+
+  const JsonValue* results = root.find("results");
+  c.require(results != nullptr && results->is_array(),
+            "missing array field 'results'");
+  if (results != nullptr && results->is_array()) {
+    c.require(results->size() > 0, "'results' is empty");
+    for (std::size_t i = 0; i < results->size(); ++i) {
+      c.require(results->at(i).is_object(),
+                "'results[" + std::to_string(i) + "]' is not an object");
+    }
+  }
+
+  const JsonValue* metrics = root.find("metrics");
+  c.require(metrics != nullptr && metrics->is_object(),
+            "missing object field 'metrics'");
+  if (metrics != nullptr && metrics->is_object()) {
+    for (const char* section : {"counters", "gauges", "histograms"}) {
+      const JsonValue* arr = metrics->find(section);
+      c.require(arr != nullptr && arr->is_array(),
+                std::string("missing array field 'metrics.") + section + "'");
+      if (arr == nullptr || !arr->is_array()) continue;
+      for (const JsonValue& row : arr->items()) {
+        c.require(row.find("name") != nullptr && row.find("name")->is_string(),
+                  std::string("metrics.") + section + " row without 'name'");
+        c.require(row.find("labels") != nullptr &&
+                      row.find("labels")->is_object(),
+                  std::string("metrics.") + section + " row without 'labels'");
+      }
+    }
+  }
+
+  const JsonValue* sim = root.find("sim");
+  c.require(sim != nullptr && sim->is_object(), "missing object field 'sim'");
+  if (sim != nullptr && sim->is_object()) {
+    for (const char* field :
+         {"events_executed", "peak_queue_depth", "sim_time_us"}) {
+      const JsonValue* v = sim->find(field);
+      c.require(v != nullptr && v->is_int() && v->as_int() >= 0,
+                std::string("missing non-negative integer 'sim.") + field +
+                    "'");
+    }
+    for (const char* field :
+         {"wall_time_seconds", "events_per_wall_second",
+          "wall_seconds_per_sim_second"}) {
+      const JsonValue* v = sim->find(field);
+      c.require(v != nullptr && v->is_number(),
+                std::string("missing numeric 'sim.") + field + "'");
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: validate_bench_json FILE [FILE...]\n";
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << argv[i] << ": cannot open\n";
+      all_ok = false;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    const JsonValue root = JsonValue::parse(buf.str(), &error);
+    if (root.is_null() && !error.empty()) {
+      std::cerr << argv[i] << ": JSON parse error: " << error << "\n";
+      all_ok = false;
+      continue;
+    }
+    const Check c = validate(root);
+    if (c.ok) {
+      std::cout << argv[i] << ": OK ("
+                << root.find("results")->size() << " results)\n";
+    } else {
+      all_ok = false;
+      std::cerr << argv[i] << ": INVALID\n";
+      for (const std::string& p : c.problems) {
+        std::cerr << "  - " << p << "\n";
+      }
+    }
+  }
+  return all_ok ? 0 : 1;
+}
