@@ -33,4 +33,26 @@ VSGC_BENCH_OUT="$ARTIFACT_DIR2" "$BUILD_DIR/bench/bench_view_change" > /dev/null
 cmp "$ARTIFACT_DIR/TRACE_view_change.jsonl" "$ARTIFACT_DIR2/TRACE_view_change.jsonl"
 echo "TRACE_view_change.jsonl byte-identical across runs"
 
+echo "== stress fuzz smoke (sanitized) =="
+# Fixed seed block, small world, full checker suite: any violation fails CI
+# and the repro bundle path is printed by the tool itself.
+STRESS_OUT="$BUILD_DIR/stress-out"
+rm -rf "$STRESS_OUT"
+if ! "$BUILD_DIR/tools/vsgc_stress" --seeds 0:24 --clients 4 --servers 2 \
+    --steps 15 --out "$STRESS_OUT"; then
+  echo "vsgc_stress found a violation; repro bundles under $STRESS_OUT" >&2
+  exit 1
+fi
+
+echo "== stress pipeline self-check (planted bug) =="
+# A deliberately injected endpoint bug must be caught by the checkers,
+# minimized, and the minimized bundle must replay to the same violation.
+PLANT_OUT="$BUILD_DIR/stress-selfcheck"
+rm -rf "$PLANT_OUT"
+"$BUILD_DIR/tools/vsgc_stress" --seeds 3:3 --inject-bug 10 \
+  --expect-violation --out "$PLANT_OUT" > /dev/null
+"$BUILD_DIR/tools/vsgc_stress" --replay "$PLANT_OUT/seed3" --expect-violation \
+  > /dev/null
+echo "planted bug caught, minimized, and replayed"
+
 echo "CI OK"

@@ -30,6 +30,13 @@ class BlockingClient : public gcs::Client {
   void on_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void on_view(ViewFn fn) { view_ = std::move(fn); }
 
+  /// Pre-delivery hook, independent of on_deliver: runs first and may veto
+  /// the application callback (return false to swallow). Fault harnesses use
+  /// it to crash the process from inside the delivery callback without
+  /// clobbering a handler the application installed.
+  using InterceptFn = std::function<bool(ProcessId from, const gcs::AppMsg&)>;
+  void set_delivery_interceptor(InterceptFn fn) { intercept_ = std::move(fn); }
+
   /// Send `payload` in the current view, or queue it if the service has
   /// blocked us (it will be sent in the next view). Returns true if it was
   /// sent immediately.
@@ -47,6 +54,7 @@ class BlockingClient : public gcs::Client {
 
   // gcs::Client
   void deliver(ProcessId from, const gcs::AppMsg& msg) override {
+    if (intercept_ && !intercept_(from, msg)) return;
     if (deliver_) deliver_(from, msg);
   }
 
@@ -67,6 +75,7 @@ class BlockingClient : public gcs::Client {
   gcs::GcsEndpoint& endpoint_;
   DeliverFn deliver_;
   ViewFn view_;
+  InterceptFn intercept_;
   bool blocked_ = false;
   std::deque<std::string> pending_;
 };

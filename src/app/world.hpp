@@ -12,6 +12,7 @@
 #include "gcs/process.hpp"
 #include "membership/membership_server.hpp"
 #include "net/network.hpp"
+#include "sim/failure_injector.hpp"
 #include "sim/simulator.hpp"
 #include "spec/all_checkers.hpp"
 #include "util/logging.hpp"
@@ -67,6 +68,21 @@ class World {
       clients_.push_back(std::make_unique<BlockingClient>(proc->endpoint()));
       processes_.push_back(std::move(proc));
     }
+
+    // Fault-injection support: the interceptor runs before any application
+    // on_deliver handler, so a FailureInjector can crash a process from
+    // inside its delivery callback without disturbing test wiring.
+    crash_on_delivery_.assign(static_cast<std::size_t>(config.num_clients),
+                              false);
+    for (int i = 0; i < config.num_clients; ++i) {
+      clients_[static_cast<std::size_t>(i)]->set_delivery_interceptor(
+          [this, i](ProcessId, const gcs::AppMsg&) {
+            if (!crash_on_delivery_[static_cast<std::size_t>(i)]) return true;
+            crash_on_delivery_[static_cast<std::size_t>(i)] = false;
+            processes_[static_cast<std::size_t>(i)]->crash();
+            return false;  // the process is gone; swallow the delivery
+          });
+    }
   }
 
   /// Start servers and processes; run with run_for().
@@ -109,6 +125,62 @@ class World {
     return out;
   }
 
+  /// Arm (or disarm) "crash inside the next delivery callback" for client i.
+  void arm_crash_on_delivery(int i, bool on) {
+    crash_on_delivery_.at(static_cast<std::size_t>(i)) = on;
+  }
+
+  /// The callback surface sim::FailureInjector drives. Node references use
+  /// the injector's encoding (process i => i, server s => -(s+1)).
+  sim::FaultTarget fault_target() {
+    const auto node = [this](int v) {
+      return sim::encodes_server(v)
+                 ? net::node_of(ServerId{
+                       static_cast<std::uint32_t>(sim::decode_server(v))})
+                 : net::node_of(
+                       ProcessId{static_cast<std::uint32_t>(v + 1)});
+    };
+    sim::FaultTarget t;
+    t.sim = &sim_;
+    t.trace = &trace_;
+    t.num_processes = num_clients();
+    t.num_servers = num_servers();
+    t.process_crashed = [this](int i) { return process(i).crashed(); };
+    t.crash_process = [this](int i) { process(i).crash(); };
+    t.recover_process = [this](int i) { process(i).recover(); };
+    t.leave_process = [this](int i) { process(i).leave(); };
+    t.rejoin_process = [this](int i) { process(i).start(); };
+    t.set_server_up = [this](int s, bool up) {
+      network_->set_node_up(
+          net::node_of(ServerId{static_cast<std::uint32_t>(s)}), up);
+    };
+    t.partition = [this, node](const std::vector<std::vector<int>>& groups) {
+      std::vector<std::set<net::NodeId>> comps;
+      for (const auto& group : groups) {
+        std::set<net::NodeId> comp;
+        for (int v : group) comp.insert(node(v));
+        comps.push_back(std::move(comp));
+      }
+      network_->partition(comps);
+    };
+    t.heal = [this] { network_->heal(); };
+    t.set_link = [this, node](int a, int b, bool up, bool oneway) {
+      if (oneway) network_->set_oneway_link_up(node(a), node(b), up);
+      else network_->set_link_up(node(a), node(b), up);
+    };
+    t.set_drop = [this](double p) { network_->set_drop_probability(p); };
+    t.set_latency = [this](sim::Time base, sim::Time jitter) {
+      network_->set_latency(base, jitter);
+    };
+    t.arm_crash_in_delivery = [this](int i, bool on) {
+      arm_crash_on_delivery(i, on);
+    };
+    t.send_traffic = [this](int i, const std::string& payload) {
+      client(i).send(payload);
+    };
+    return t;
+  }
+
   sim::Simulator& sim() { return sim_; }
   net::Network& network() { return *network_; }
   spec::TraceBus& trace() { return trace_; }
@@ -130,6 +202,7 @@ class World {
   std::vector<std::unique_ptr<membership::MembershipServer>> servers_;
   std::vector<std::unique_ptr<gcs::Process>> processes_;
   std::vector<std::unique_ptr<BlockingClient>> clients_;
+  std::vector<bool> crash_on_delivery_;
 };
 
 }  // namespace vsgc::app

@@ -21,8 +21,8 @@ void Network::send(NodeId from, NodeId to, std::any payload,
   ++stats_.packets_sent;
   stats_.bytes_sent += wire_size;
 
-  if (!link_up(from, to) || (config_.drop_probability > 0.0 &&
-                             rng_.chance(config_.drop_probability))) {
+  if (!can_send(from, to) || (config_.drop_probability > 0.0 &&
+                              rng_.chance(config_.drop_probability))) {
     ++stats_.packets_dropped;
     return;
   }

@@ -65,6 +65,14 @@ class Network {
     else down_links_.insert(key);
   }
 
+  /// Asymmetric link control: a downed one-way link drops packets from
+  /// `from` to `to` only; the reverse direction is unaffected. Composes with
+  /// the symmetric state — a direction is up only if neither says down.
+  void set_oneway_link_up(NodeId from, NodeId to, bool up) {
+    if (up) down_oneway_.erase({from, to});
+    else down_oneway_.insert({from, to});
+  }
+
   /// Partition the network into disjoint components; packets between
   /// components are dropped. Nodes not listed stay reachable to everyone.
   void partition(const std::vector<std::set<NodeId>>& components) {
@@ -76,17 +84,28 @@ class Network {
     }
   }
 
-  /// Remove the partition and all individual link failures.
+  /// Remove the partition and all individual (symmetric and one-way) link
+  /// failures.
   void heal() {
     component_of_.clear();
     down_links_.clear();
+    down_oneway_.clear();
   }
 
   bool link_up(NodeId a, NodeId b) const;
+  /// Directional reachability: link_up(from, to) plus one-way link state.
+  bool can_send(NodeId from, NodeId to) const {
+    return link_up(from, to) && !down_oneway_.contains({from, to});
+  }
 
   const Stats& stats() const { return stats_; }
   const Config& config() const { return config_; }
   void set_drop_probability(double p) { config_.drop_probability = p; }
+  /// Runtime latency control (delay bursts in fault schedules).
+  void set_latency(sim::Time base, sim::Time jitter) {
+    config_.base_latency = base;
+    config_.jitter = jitter;
+  }
 
  private:
   static std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
@@ -101,6 +120,7 @@ class Network {
   std::map<NodeId, Handler> handlers_;
   std::set<NodeId> down_nodes_;
   std::set<std::pair<NodeId, NodeId>> down_links_;
+  std::set<std::pair<NodeId, NodeId>> down_oneway_;  ///< directional (from,to)
   std::map<NodeId, std::uint32_t> component_of_;
   std::map<std::pair<NodeId, NodeId>, sim::Time> last_arrival_;
 };

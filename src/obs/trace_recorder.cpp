@@ -123,6 +123,10 @@ JsonValue event_to_json(const spec::Event& event) {
   } else if (const auto* r = std::get_if<spec::Recover>(&event.body)) {
     out["type"] = "recover";
     out["p"] = r->p.value;
+  } else if (const auto* f = std::get_if<spec::FaultInjected>(&event.body)) {
+    out["type"] = "fault";
+    out["kind"] = f->kind;
+    out["detail"] = f->detail;
   }
   return out;
 }
@@ -130,14 +134,27 @@ JsonValue event_to_json(const spec::Event& event) {
 bool event_from_json(const JsonValue& record, spec::Event* out) {
   const JsonValue* at = record.find("at");
   const JsonValue* type = record.find("type");
-  const JsonValue* p = record.find("p");
-  if (at == nullptr || type == nullptr || p == nullptr || !at->is_int() ||
-      !type->is_string() || !p->is_int()) {
+  if (at == nullptr || type == nullptr || !at->is_int() ||
+      !type->is_string()) {
     return false;
   }
   out->at = at->as_int();
-  const ProcessId pid{static_cast<std::uint32_t>(p->as_int())};
   const std::string& t = type->as_string();
+
+  if (t == "fault") {  // faults carry no process tag
+    const JsonValue* kind = record.find("kind");
+    const JsonValue* detail = record.find("detail");
+    if (kind == nullptr || !kind->is_string() || detail == nullptr ||
+        !detail->is_string()) {
+      return false;
+    }
+    out->body = spec::FaultInjected{kind->as_string(), detail->as_string()};
+    return true;
+  }
+
+  const JsonValue* p = record.find("p");
+  if (p == nullptr || !p->is_int()) return false;
+  const ProcessId pid{static_cast<std::uint32_t>(p->as_int())};
 
   if (t == "gcs_send") {
     spec::GcsSend body{pid, {}};
@@ -256,6 +273,7 @@ void metadata(JsonValue& arr, std::uint32_t pid, std::optional<int> tid,
 constexpr int kTidMembership = 0;
 constexpr int kTidVs = 1;
 constexpr int kTidApp = 2;
+constexpr int kTidFaults = 0;  ///< lane on the dedicated pid-0 fault track
 
 struct OpenSpans {
   std::optional<std::pair<sim::Time, std::string>> mbr_round;
@@ -273,6 +291,7 @@ void write_chrome_trace(const std::vector<spec::Event>& events,
 
   std::map<ProcessId, OpenSpans> open;
   std::set<ProcessId> seen;
+  bool fault_track_named = false;
 
   auto track = [&](ProcessId p) -> OpenSpans& {
     if (seen.insert(p).second) {
@@ -338,6 +357,16 @@ void write_chrome_trace(const std::vector<spec::Event>& events,
     } else if (const auto* r = std::get_if<spec::Recover>(&ev.body)) {
       track(r->p);
       instant(arr, r->p.value, kTidApp, "recover", ev.at);
+    } else if (const auto* f = std::get_if<spec::FaultInjected>(&ev.body)) {
+      // Faults get their own track (pid 0 — real processes are 1-based) so a
+      // timeline shows the injected schedule in a lane above the processes.
+      if (!fault_track_named) {
+        metadata(arr, 0, std::nullopt, "process_name", "fault injector");
+        metadata(arr, 0, kTidFaults, "thread_name", "faults");
+        fault_track_named = true;
+      }
+      instant(arr, 0, kTidFaults,
+              f->detail.empty() ? f->kind : f->kind + " " + f->detail, ev.at);
     }
   }
 

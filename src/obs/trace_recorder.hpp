@@ -21,6 +21,7 @@
 //   {"at":N,"type":"mbr_start_change","p":P,"cid":C,"set":[P...]}
 //   {"at":N,"type":"mbr_view","p":P,"view":V}
 //   {"at":N,"type":"crash","p":P} / {"at":N,"type":"recover","p":P}
+//   {"at":N,"type":"fault","kind":K,"detail":D}   (sim::FailureInjector)
 // where V = {"epoch":E,"origin":O,"members":[P...],"start_id":{"P":C,...}}.
 #pragma once
 

@@ -1,0 +1,213 @@
+// FailureInjector: seeded, policy-driven fault scheduler (paper §8 + the
+// DESIGN.md §3 "failure/partition injector" row).
+//
+// The injector composes the whole fault vocabulary of this repository —
+// process crash/recover, graceful leave/rejoin, repeated multi-way
+// partitions and heals, symmetric and asymmetric link down/up,
+// drop-probability spikes, latency bursts, membership-server outages,
+// crash-inside-delivery-callback, and interleaved application traffic —
+// against any target (in practice app::World) through a thin callback
+// surface, so it has no dependency on the protocol stack itself.
+//
+// Two modes share one code path:
+//   * generate (run_churn): a seeded policy picks weighted random actions
+//     with random gaps; every applied op is recorded into a FaultScript.
+//   * replay: re-applies a recorded script, optionally with some ops elided
+//     — the substrate of vsgc_stress's greedy fault-script minimizer.
+// Both publish every fault on the TraceBus (spec::FaultInjected, plus the
+// Crash/Recover events the endpoints emit themselves), so exported JSONL
+// traces and Chrome-trace timelines show the exact adversarial schedule.
+//
+// Determinism: an injector run is a pure function of (target construction
+// seed, policy, injector seed) — property tests assert byte-identical JSONL
+// traces across same-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "spec/events.hpp"
+#include "util/rng.hpp"
+
+namespace vsgc::obs {
+class JsonValue;
+}  // namespace vsgc::obs
+
+namespace vsgc::sim {
+
+/// One concrete fault (or traffic nudge) applied at a simulated time.
+/// Every op is absolute and self-contained, so ANY subset of a script is a
+/// valid schedule — the property the greedy minimizer relies on.
+struct FaultOp {
+  enum class Kind {
+    kCrash,            ///< crash process a
+    kRecover,          ///< recover process a
+    kLeave,            ///< graceful leave of process a
+    kRejoin,           ///< re-attach process a after a leave
+    kServerDown,       ///< membership server a unreachable (node down)
+    kServerUp,         ///< membership server a reachable again
+    kPartition,        ///< multi-way partition into `groups`
+    kHeal,             ///< remove partition + all link failures
+    kLinkDown,         ///< link a->b down (both ways unless `oneway`)
+    kLinkUp,           ///< link a->b back up
+    kDrop,             ///< set network drop probability to `p`
+    kLatency,          ///< set network base latency/jitter to t0/t1
+    kCrashInDelivery,  ///< arm: process a crashes inside its next delivery
+    kTraffic,          ///< process a multicasts `payload`
+    kBugDupDeliver,    ///< test hook: forge a duplicate delivery trace event
+  };
+
+  Time at = 0;
+  Kind kind = Kind::kHeal;
+  int a = -1;          ///< process/server index (see kind)
+  int b = -1;          ///< second endpoint for link ops
+  bool oneway = false;
+  double p = 0.0;      ///< drop probability
+  Time t0 = 0, t1 = 0; ///< latency base/jitter
+  std::vector<std::vector<int>> groups;  ///< partition components (encoded)
+  std::string payload;
+
+  /// Stable op name as published on the TraceBus and in scripts.
+  const char* name() const;
+};
+
+/// Encoding of mixed process/server node references inside FaultOp fields
+/// (partition groups and link endpoints): process i => i, server s => -(s+1).
+inline int encode_process(int i) { return i; }
+inline int encode_server(int s) { return -(s + 1); }
+inline bool encodes_server(int v) { return v < 0; }
+inline int decode_server(int v) { return -v - 1; }
+
+/// A recorded fault schedule: replayable, serializable, minimizable.
+struct FaultScript {
+  std::uint64_t seed = 0;  ///< injector seed that generated it (provenance)
+  std::vector<FaultOp> ops;
+
+  obs::JsonValue to_json() const;
+  static bool from_json(const obs::JsonValue& j, FaultScript* out);
+};
+
+/// The surface a deployment exposes to the injector. All callbacks must be
+/// safe to invoke in any target state (guard internally and no-op instead of
+/// failing), so that arbitrary script subsets replay cleanly.
+struct FaultTarget {
+  Simulator* sim = nullptr;
+  spec::TraceBus* trace = nullptr;  ///< may be null (no fault events then)
+  int num_processes = 0;
+  int num_servers = 0;
+
+  std::function<bool(int)> process_crashed;
+  std::function<void(int)> crash_process;
+  std::function<void(int)> recover_process;
+  std::function<void(int)> leave_process;
+  std::function<void(int)> rejoin_process;
+  std::function<void(int, bool)> set_server_up;
+  /// Partition into components of encoded node refs (see encode_process/
+  /// encode_server); every node appears in exactly one component.
+  std::function<void(const std::vector<std::vector<int>>&)> partition;
+  std::function<void()> heal;
+  /// Link control between encoded node refs; `oneway` downs a->b only.
+  std::function<void(int, int, bool, bool)> set_link;  // a, b, up, oneway
+  std::function<void(double)> set_drop;
+  std::function<void(Time, Time)> set_latency;  // base, jitter
+  /// Arm (or disarm) "crash inside the next delivery callback" at process a.
+  std::function<void(int, bool)> arm_crash_in_delivery;
+  std::function<void(int, const std::string&)> send_traffic;
+};
+
+class FailureInjector {
+ public:
+  /// Weighted action mix and shape parameters for generate mode. Weight 0
+  /// removes an action from the vocabulary (e.g. partitions in single-
+  /// component tests); the defaults reproduce a broad churn mix.
+  struct Policy {
+    int steps = 25;                 ///< actions per run_churn()
+    Time min_gap = 50 * kMillisecond;
+    Time max_gap = 600 * kMillisecond;
+
+    int w_traffic = 10;
+    int w_crash = 3;
+    int w_recover = 3;
+    int w_leave = 1;
+    int w_rejoin = 1;
+    int w_partition = 2;
+    int w_heal = 2;
+    int w_link = 1;            ///< symmetric or one-way link flap
+    int w_drop_spike = 1;
+    int w_delay_burst = 1;
+    int w_server_outage = 1;   ///< only effective with >= 2 servers
+    int w_crash_in_delivery = 1;
+    int w_partition_in_view_change = 1;  ///< leave, then partition mid-change
+
+    int max_partition_ways = 3;
+    double spike_drop = 0.4;
+    Time spike_len = 300 * kMillisecond;
+    Time burst_latency = 25 * kMillisecond;
+    Time burst_jitter = 5 * kMillisecond;
+    Time burst_len = 300 * kMillisecond;
+    Time view_change_delay = 15 * kMillisecond;  ///< leave -> partition gap
+
+    // Baseline the restores return to (mirror the target's network config).
+    double base_drop = 0.0;
+    Time base_latency = 1 * kMillisecond;
+    Time base_jitter = 200;
+
+    /// Test hook: at this churn step (if >= 0), forge a duplicate-delivery
+    /// trace event — a deliberately injected "endpoint bug" that the spec
+    /// checkers must catch (vsgc_stress --inject-bug, CI pipeline check).
+    int bug_at_step = -1;
+  };
+
+  FailureInjector(FaultTarget target, Policy policy, std::uint64_t seed);
+
+  /// Generate mode: apply `policy.steps` weighted random actions separated
+  /// by random gaps, advancing the target's simulator. Every applied op
+  /// (including traffic and timed spike/burst restores) lands in script().
+  void run_churn();
+
+  /// Replay `script` against the target: advance the simulator to each op's
+  /// time and apply it. Ops whose index is in `elide` are skipped (the
+  /// minimizer's probe); time still advances identically.
+  void replay(const FaultScript& script, const std::set<std::size_t>& elide = {});
+
+  /// Undo every outstanding fault so liveness can be checked: heal the
+  /// network, restore baseline drop/latency, bring servers up, disarm
+  /// delivery crashes, rejoin leavers, recover crashed processes.
+  void stabilize();
+
+  /// Everything applied so far (generate and replay both record).
+  const FaultScript& script() const { return script_; }
+
+ private:
+  struct PendingOp {
+    Time at;
+    FaultOp op;
+  };
+
+  void apply(const FaultOp& op, bool record);
+  void drain_pending(Time up_to);
+  void schedule_restore(Time at, FaultOp op);
+  bool generate_step(int step);
+  void publish(const FaultOp& op);
+
+  FaultTarget target_;
+  Policy policy_;
+  Rng rng_;
+  FaultScript script_;
+
+  // Mirror of the fault state we created (for picking valid actions and for
+  // stabilize()); the target stays the source of truth for crash state.
+  std::vector<bool> left_;
+  std::vector<bool> server_down_;
+  std::vector<FaultOp> downed_links_;
+  bool partitioned_ = false;
+  std::vector<PendingOp> pending_;  ///< timed restores, sorted by time
+  std::uint64_t traffic_counter_ = 0;
+};
+
+}  // namespace vsgc::sim

@@ -102,14 +102,21 @@ class Simulator {
   QuiescenceResult run_to_quiescence(std::size_t max_events = 50'000'000) {
     QuiescenceResult result;
     while (!queue_.empty()) {
-      result.executed += step();
-      if (result.executed > max_events) {
+      if (!*queue_.top().alive) {  // cancelled events are free to discard
+        step();
+        continue;
+      }
+      // Exact cap: execute at most max_events live events, checked before
+      // the next step so event max_events + 1 never runs. A run of exactly
+      // max_events live events drains cleanly and is not reported as capped.
+      if (result.executed >= max_events) {
         result.capped = true;
         VSGC_WARN("sim", "run_to_quiescence hit the " << max_events
                          << "-event runaway cap at t=" << now_ << "us with "
                          << queue_.size() << " events still pending");
         return result;
       }
+      result.executed += step();
     }
     return result;
   }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -71,9 +72,18 @@ struct Recover {
   ProcessId p;
 };
 
+/// Environment fault applied by sim::FailureInjector (partition, link
+/// failure, loss spike, ...). Process crash/recovery keeps its dedicated
+/// Crash/Recover events; this covers every other fault so post-mortem
+/// timelines show exactly which adversarial schedule an execution ran under.
+struct FaultInjected {
+  std::string kind;    ///< stable op name, e.g. "partition", "link_down"
+  std::string detail;  ///< human-readable arguments
+};
+
 using EventBody = std::variant<GcsSend, GcsDeliver, GcsView, GcsBlock,
                                GcsBlockOk, MbrStartChange, MbrView, Crash,
-                               Recover>;
+                               Recover, FaultInjected>;
 
 struct Event {
   sim::Time at = 0;

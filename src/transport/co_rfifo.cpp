@@ -30,11 +30,18 @@ void CoRfifoTransport::send(const std::set<net::NodeId>& dests,
     ++stats_.messages_sent;
     if (q == self_) {
       // Local loopback: still asynchronous (one scheduler hop), still FIFO.
+      // Byte accounting matches a remote send (payload + header) so sync
+      // traffic tables don't under-count self-addressed copies.
+      stats_.bytes_sent += payload_size + kPacketHeaderBytes;
       sim_.schedule(1, [this, payload]() {
-        if (!crashed_ && deliver_) {
-          ++stats_.messages_delivered;
-          deliver_(self_, payload);
+        if (crashed_ || !deliver_) {
+          // A loopback in flight across our own crash is lost like any other
+          // packet to a crashed node — count it instead of dropping silently.
+          ++stats_.loopbacks_dropped;
+          return;
         }
+        ++stats_.messages_delivered;
+        deliver_(self_, payload);
       });
       continue;
     }
@@ -129,6 +136,9 @@ void CoRfifoTransport::on_ack(net::NodeId from, const Packet& pkt) {
       p.incarnation = out.incarnation;
       p.seq = seq++;
       p.first_seq = 1;
+      // Re-homing the suffix re-sends packets already transmitted once:
+      // recovery cost, counted like any other retransmission.
+      ++stats_.retransmissions;
       transmit(from, p);
     }
     out.next_seq = seq;

@@ -66,10 +66,11 @@ class CoRfifoTransport {
   struct Stats {
     std::uint64_t messages_sent = 0;  ///< upper-layer sends (per destination)
     std::uint64_t messages_delivered = 0;
-    std::uint64_t retransmissions = 0;
+    std::uint64_t retransmissions = 0;  ///< timer re-sends + reset re-homing
     std::uint64_t acks_sent = 0;
     std::uint64_t duplicates_dropped = 0;
-    std::uint64_t bytes_sent = 0;
+    std::uint64_t loopbacks_dropped = 0;  ///< self-sends lost to our crash
+    std::uint64_t bytes_sent = 0;  ///< includes loopback payload + header
   };
 
   using DeliverFn =

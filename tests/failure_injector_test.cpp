@@ -1,0 +1,299 @@
+// sim::FailureInjector: script serialization, replay/elision semantics, the
+// stabilize() contract, asymmetric links, crash-inside-delivery, and the
+// deliberate-bug test hook that vsgc_stress's CI pipeline check rides on.
+#include "sim/failure_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "app/world.hpp"
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace vsgc {
+namespace {
+
+using sim::FailureInjector;
+using sim::FaultOp;
+using sim::FaultScript;
+
+// -- FaultScript JSON round-trip ---------------------------------------------
+
+FaultScript SampleScript() {
+  FaultScript script;
+  script.seed = 42;
+  FaultOp crash;
+  crash.at = 100 * sim::kMillisecond;
+  crash.kind = FaultOp::Kind::kCrash;
+  crash.a = 2;
+  script.ops.push_back(crash);
+
+  FaultOp link;
+  link.at = 200 * sim::kMillisecond;
+  link.kind = FaultOp::Kind::kLinkDown;
+  link.a = 0;
+  link.b = sim::encode_server(1);
+  link.oneway = true;
+  script.ops.push_back(link);
+
+  FaultOp drop;
+  drop.at = 300 * sim::kMillisecond;
+  drop.kind = FaultOp::Kind::kDrop;
+  drop.p = 0.4;
+  script.ops.push_back(drop);
+
+  FaultOp latency;
+  latency.at = 350 * sim::kMillisecond;
+  latency.kind = FaultOp::Kind::kLatency;
+  latency.t0 = 25 * sim::kMillisecond;
+  latency.t1 = 5 * sim::kMillisecond;
+  script.ops.push_back(latency);
+
+  FaultOp part;
+  part.at = 400 * sim::kMillisecond;
+  part.kind = FaultOp::Kind::kPartition;
+  part.groups = {{0, 1, sim::encode_server(0)}, {2, 3, sim::encode_server(1)}};
+  script.ops.push_back(part);
+
+  FaultOp traffic;
+  traffic.at = 500 * sim::kMillisecond;
+  traffic.kind = FaultOp::Kind::kTraffic;
+  traffic.a = 1;
+  traffic.payload = "hello \x01 world";  // non-ASCII byte must round-trip
+  script.ops.push_back(traffic);
+  return script;
+}
+
+TEST(FaultScript, JsonRoundTripPreservesEveryField) {
+  const FaultScript script = SampleScript();
+  const std::string text = script.to_json().dump();
+
+  std::string error;
+  const obs::JsonValue parsed = obs::JsonValue::parse(text, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  FaultScript back;
+  ASSERT_TRUE(FaultScript::from_json(parsed, &back));
+
+  ASSERT_EQ(back.seed, script.seed);
+  ASSERT_EQ(back.ops.size(), script.ops.size());
+  for (std::size_t i = 0; i < script.ops.size(); ++i) {
+    const FaultOp& a = script.ops[i];
+    const FaultOp& b = back.ops[i];
+    EXPECT_EQ(a.at, b.at) << "op " << i;
+    EXPECT_EQ(a.kind, b.kind) << "op " << i;
+    EXPECT_EQ(a.a, b.a) << "op " << i;
+    EXPECT_EQ(a.b, b.b) << "op " << i;
+    EXPECT_EQ(a.oneway, b.oneway) << "op " << i;
+    EXPECT_EQ(a.p, b.p) << "op " << i;
+    EXPECT_EQ(a.t0, b.t0) << "op " << i;
+    EXPECT_EQ(a.t1, b.t1) << "op " << i;
+    EXPECT_EQ(a.groups, b.groups) << "op " << i;
+    EXPECT_EQ(a.payload, b.payload) << "op " << i;
+  }
+  // Serialization itself is byte-deterministic.
+  EXPECT_EQ(text, back.to_json().dump());
+}
+
+// -- Replay and elision -------------------------------------------------------
+
+app::WorldConfig SmallWorld(int clients = 4, int servers = 2) {
+  app::WorldConfig cfg;
+  cfg.num_clients = clients;
+  cfg.num_servers = servers;
+  cfg.seed = 99;
+  return cfg;
+}
+
+FaultOp At(sim::Time at, FaultOp::Kind kind, int a = -1) {
+  FaultOp op;
+  op.at = at;
+  op.kind = kind;
+  op.a = a;
+  return op;
+}
+
+TEST(FailureInjector, ReplayAppliesOpsAndElisionSkipsThem) {
+  FaultScript script;
+  script.ops.push_back(At(1 * sim::kSecond, FaultOp::Kind::kCrash, 1));
+  script.ops.push_back(At(2 * sim::kSecond, FaultOp::Kind::kCrash, 2));
+
+  {
+    app::World w(SmallWorld());
+    w.start();
+    ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+    FailureInjector injector(w.fault_target(), {}, 1);
+    injector.replay(script);
+    EXPECT_TRUE(w.process(1).crashed());
+    EXPECT_TRUE(w.process(2).crashed());
+    // Replay records what it applied, at the times it applied it.
+    ASSERT_EQ(injector.script().ops.size(), 2u);
+    EXPECT_EQ(injector.script().ops[0].at, 1 * sim::kSecond);
+  }
+  {
+    app::World w(SmallWorld());
+    w.start();
+    ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+    FailureInjector injector(w.fault_target(), {}, 1);
+    injector.replay(script, /*elide=*/{0});
+    EXPECT_FALSE(w.process(1).crashed()) << "elided op must not apply";
+    EXPECT_TRUE(w.process(2).crashed());
+    // Time still advances past every op, elided or not.
+    EXPECT_GE(w.sim().now(), 2 * sim::kSecond);
+  }
+}
+
+TEST(FailureInjector, ArbitrarySubsetsReplayWithoutFaulting) {
+  // Unpaired recover/rejoin/heal ops must be harmless no-ops: the minimizer
+  // probes arbitrary subsets and relies on every subset being a valid run.
+  FaultScript script;
+  script.ops.push_back(At(1 * sim::kSecond, FaultOp::Kind::kRecover, 0));
+  script.ops.push_back(At(2 * sim::kSecond, FaultOp::Kind::kRejoin, 1));
+  script.ops.push_back(At(3 * sim::kSecond, FaultOp::Kind::kHeal));
+  script.ops.push_back(At(4 * sim::kSecond, FaultOp::Kind::kServerUp, 0));
+  script.ops.push_back(At(5 * sim::kSecond, FaultOp::Kind::kCrash, 1));
+  script.ops.push_back(At(6 * sim::kSecond, FaultOp::Kind::kCrash, 1));  // dup
+
+  app::World w(SmallWorld());
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+  FailureInjector injector(w.fault_target(), {}, 1);
+  injector.replay(script);
+  injector.stabilize();
+  EXPECT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond));
+}
+
+// -- stabilize() --------------------------------------------------------------
+
+TEST(FailureInjector, StabilizeUndoesCrashesPartitionsAndServerOutages) {
+  app::World w(SmallWorld(4, 2));
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+
+  FaultScript script;
+  script.ops.push_back(At(1 * sim::kSecond, FaultOp::Kind::kCrash, 0));
+  script.ops.push_back(At(1 * sim::kSecond, FaultOp::Kind::kLeave, 1));
+  script.ops.push_back(At(1 * sim::kSecond, FaultOp::Kind::kServerDown, 1));
+  FaultOp part;
+  part.at = 2 * sim::kSecond;
+  part.kind = FaultOp::Kind::kPartition;
+  part.groups = {{0, 1, sim::encode_server(0)}, {2, 3, sim::encode_server(1)}};
+  script.ops.push_back(part);
+  FaultOp drop;
+  drop.at = 2 * sim::kSecond;
+  drop.kind = FaultOp::Kind::kDrop;
+  drop.p = 0.9;
+  script.ops.push_back(drop);
+
+  FailureInjector injector(w.fault_target(), {}, 1);
+  injector.replay(script);
+  EXPECT_TRUE(w.process(0).crashed());
+
+  injector.stabilize();
+  EXPECT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond))
+      << "every member must be back in one agreed view after stabilize()";
+}
+
+// -- Asymmetric links ---------------------------------------------------------
+
+TEST(FailureInjector, OnewayLinkDownBlocksExactlyOneDirection) {
+  app::World w(SmallWorld(2, 1));
+  const net::NodeId n0 = net::node_of(ProcessId{1});
+  const net::NodeId n1 = net::node_of(ProcessId{2});
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+
+  FaultOp down;
+  down.at = w.sim().now();
+  down.kind = FaultOp::Kind::kLinkDown;
+  down.a = 0;
+  down.b = 1;
+  down.oneway = true;
+  FaultScript script;
+  script.ops.push_back(down);
+
+  FailureInjector injector(w.fault_target(), {}, 1);
+  injector.replay(script);
+  EXPECT_FALSE(w.network().can_send(n0, n1));
+  EXPECT_TRUE(w.network().can_send(n1, n0)) << "reverse direction stays up";
+
+  injector.stabilize();
+  EXPECT_TRUE(w.network().can_send(n0, n1));
+}
+
+// -- Crash inside the delivery callback ---------------------------------------
+
+TEST(FailureInjector, CrashInDeliveryCrashesTheReceiverMidCallback) {
+  app::World w(SmallWorld(3, 1));
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+
+  FaultScript script;
+  FaultOp arm = At(w.sim().now(), FaultOp::Kind::kCrashInDelivery, 2);
+  script.ops.push_back(arm);
+  FaultOp traffic;
+  traffic.at = w.sim().now();
+  traffic.kind = FaultOp::Kind::kTraffic;
+  traffic.a = 0;
+  traffic.payload = "boom";
+  script.ops.push_back(traffic);
+
+  FailureInjector injector(w.fault_target(), {}, 1);
+  injector.replay(script);
+  w.run_for(3 * sim::kSecond);
+  EXPECT_TRUE(w.process(2).crashed())
+      << "armed process must crash inside its delivery callback";
+  EXPECT_FALSE(w.process(0).crashed());
+  EXPECT_FALSE(w.process(1).crashed());
+
+  injector.stabilize();
+  EXPECT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond));
+}
+
+// -- The deliberate-bug hook ---------------------------------------------------
+
+TEST(FailureInjector, InjectedDuplicateDeliveryTripsTheCheckers) {
+  app::WorldConfig cfg;
+  cfg.num_clients = 3;
+  cfg.num_servers = 1;
+  cfg.seed = 5;
+  app::World w(cfg);
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+  // Real deliveries must exist before the forged duplicate.
+  w.client(0).send("payload");
+  w.run_for(3 * sim::kSecond);
+
+  FailureInjector::Policy policy;
+  policy.steps = 3;
+  policy.bug_at_step = 1;
+  FailureInjector injector(w.fault_target(), policy, 7);
+  EXPECT_THROW(injector.run_churn(), InvariantViolation)
+      << "the WV checker must catch the forged duplicate delivery";
+}
+
+// -- Fault events land on the trace -------------------------------------------
+
+TEST(FailureInjector, PublishesFaultEventsOnTheTraceBus) {
+  app::World w(SmallWorld(3, 1));
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+
+  FaultScript script;
+  script.ops.push_back(At(w.sim().now(), FaultOp::Kind::kCrash, 1));
+  FailureInjector injector(w.fault_target(), {}, 1);
+  injector.replay(script);
+
+  bool saw_fault = false;
+  for (const spec::Event& ev : w.trace().recorded()) {
+    if (const auto* f = std::get_if<spec::FaultInjected>(&ev.body)) {
+      EXPECT_EQ(f->kind, "crash");
+      saw_fault = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault);
+}
+
+}  // namespace
+}  // namespace vsgc

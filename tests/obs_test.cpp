@@ -249,6 +249,33 @@ TEST(TraceRecorder, JsonlRoundTripOfScriptedTrace) {
   EXPECT_EQ(view->transitional, (std::set<ProcessId>{{1}, {2}}));
 }
 
+TEST(TraceRecorder, FaultEventsRoundTripThroughJsonl) {
+  // FaultInjected records carry no "p" tag — a dedicated parse path.
+  obs::TraceRecorder rec;
+  spec::TraceBus bus;
+  bus.subscribe(rec);
+  bus.emit(10, spec::FaultInjected{"partition", "groups=[p1 p2 | p3 s0]"});
+  bus.emit(20, spec::Crash{ProcessId{1}});
+  bus.emit(30, spec::FaultInjected{"stabilize", ""});
+
+  std::ostringstream first;
+  rec.write_jsonl(first);
+  std::istringstream is(first.str());
+  std::vector<spec::Event> parsed;
+  ASSERT_TRUE(obs::read_jsonl(is, &parsed));
+  ASSERT_EQ(parsed.size(), 3u);
+
+  const auto* fault = std::get_if<spec::FaultInjected>(&parsed[0].body);
+  ASSERT_NE(fault, nullptr);
+  EXPECT_EQ(parsed[0].at, 10);
+  EXPECT_EQ(fault->kind, "partition");
+  EXPECT_EQ(fault->detail, "groups=[p1 p2 | p3 s0]");
+
+  std::ostringstream second;
+  obs::write_jsonl(parsed, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
 TEST(TraceRecorder, RejectsMalformedJsonl) {
   std::istringstream is("{\"at\":1,\"type\":\"nonsense\",\"p\":1}\n");
   std::vector<spec::Event> parsed;

@@ -1,16 +1,21 @@
-// Randomized property sweeps: seeded churn (crashes, recoveries, partitions,
-// healing, concurrent traffic) followed by stabilization. Every execution
-// runs with the full checker suite attached (WV/VS/TRANS_SET/SELF/MBRSHP/
-// CLIENT safety) and is checked for the conditional liveness Property 4.2 at
-// the end. Each seed is a distinct asynchronous schedule.
+// Randomized property sweeps: seeded churn (crashes, recoveries, leaves and
+// rejoins, multi-way partitions, healing, link flaps, drop spikes, delay
+// bursts, server outages, crash-inside-delivery, concurrent traffic) followed
+// by stabilization. The churn schedule comes from sim::FailureInjector, the
+// same engine tools/vsgc_stress sweeps at scale — each seed is a distinct
+// asynchronous schedule and a distinct fault script. Every execution runs
+// with the full checker suite attached (WV/VS/TRANS_SET/SELF/MBRSHP/CLIENT
+// safety) and is checked for the conditional liveness Property 4.2 at the
+// end.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
-#include <tuple>
 
 #include "app/world.hpp"
+#include "obs/trace_recorder.hpp"
+#include "sim/failure_injector.hpp"
 #include "spec/liveness_checker.hpp"
-#include "util/rng.hpp"
 
 namespace vsgc {
 namespace {
@@ -35,10 +40,7 @@ std::string PrintParams(
          (p.two_tier ? "_twotier" : "");
 }
 
-class ChurnProperty : public ::testing::TestWithParam<ChurnParams> {};
-
-TEST_P(ChurnProperty, SafetyAlwaysLivenessAfterStabilization) {
-  const ChurnParams param = GetParam();
+app::WorldConfig MakeConfig(const ChurnParams& param) {
   app::WorldConfig cfg;
   cfg.num_clients = param.clients;
   cfg.num_servers = param.servers;
@@ -54,61 +56,31 @@ TEST_P(ChurnProperty, SafetyAlwaysLivenessAfterStabilization) {
           ProcessId{static_cast<std::uint32_t>(i < half ? 1 : half + 1)};
     }
   }
-  app::World w(cfg);
+  return cfg;
+}
+
+sim::FailureInjector::Policy MakePolicy(const ChurnParams& param) {
+  sim::FailureInjector::Policy policy;
+  policy.base_drop = param.drop_probability;
+  return policy;
+}
+
+class ChurnProperty : public ::testing::TestWithParam<ChurnParams> {};
+
+TEST_P(ChurnProperty, SafetyAlwaysLivenessAfterStabilization) {
+  const ChurnParams param = GetParam();
+  app::World w(MakeConfig(param));
   w.start();
   ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond))
       << "initial convergence";
 
-  Rng rng(param.seed * 7919 + 13);
-  std::vector<bool> crashed(static_cast<std::size_t>(param.clients), false);
-  bool partitioned = false;
-
-  // Churn phase: random faults interleaved with traffic.
-  for (int step = 0; step < 25; ++step) {
-    const int action = static_cast<int>(rng.next_below(10));
-    const int target = static_cast<int>(
-        rng.next_below(static_cast<std::uint64_t>(param.clients)));
-    if (action < 5) {
-      // Traffic from a random live process.
-      if (!crashed[static_cast<std::size_t>(target)]) {
-        w.client(target).send("churn-" + std::to_string(step));
-      }
-    } else if (action < 7) {
-      if (!crashed[static_cast<std::size_t>(target)]) {
-        w.process(target).crash();
-        crashed[static_cast<std::size_t>(target)] = true;
-      }
-    } else if (action < 9) {
-      if (crashed[static_cast<std::size_t>(target)]) {
-        w.process(target).recover();
-        crashed[static_cast<std::size_t>(target)] = false;
-      }
-    } else if (!partitioned) {
-      // Random partition: split clients and servers into two components.
-      std::vector<std::set<net::NodeId>> comps(2);
-      for (int i = 0; i < param.clients; ++i) {
-        comps[rng.next_below(2)].insert(
-            net::node_of(ProcessId{static_cast<std::uint32_t>(i + 1)}));
-      }
-      for (int s = 0; s < param.servers; ++s) {
-        comps[rng.next_below(2)].insert(
-            net::node_of(ServerId{static_cast<std::uint32_t>(s)}));
-      }
-      w.network().partition(comps);
-      partitioned = true;
-    } else {
-      w.network().heal();
-      partitioned = false;
-    }
-    w.run_for(static_cast<sim::Time>(rng.next_in(50, 600)) *
-              sim::kMillisecond);
-  }
+  // Churn phase: the injector draws faults and traffic from its policy.
+  sim::FailureInjector injector(w.fault_target(), MakePolicy(param),
+                                param.seed);
+  injector.run_churn();
 
   // Stabilization: heal everything, recover everyone, let traffic drain.
-  w.network().heal();
-  for (int i = 0; i < param.clients; ++i) {
-    if (crashed[static_cast<std::size_t>(i)]) w.process(i).recover();
-  }
+  injector.stabilize();
   ASSERT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond))
       << "group must reconverge after stabilization";
 
@@ -162,6 +134,49 @@ std::vector<ChurnParams> MakeSweep() {
 
 INSTANTIATE_TEST_SUITE_P(Churn, ChurnProperty,
                          ::testing::ValuesIn(MakeSweep()), PrintParams);
+
+// -- Determinism of injector-driven executions --------------------------------
+
+struct InjectedRun {
+  std::string jsonl;          ///< full recorded trace, serialized
+  sim::FaultScript script;    ///< the fault schedule that was applied
+};
+
+InjectedRun RunChurn(const ChurnParams& param,
+                     const sim::FaultScript* replay = nullptr) {
+  app::World w(MakeConfig(param));
+  w.start();
+  EXPECT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+  sim::FailureInjector injector(w.fault_target(), MakePolicy(param),
+                                param.seed);
+  if (replay != nullptr) injector.replay(*replay);
+  else injector.run_churn();
+  injector.stabilize();
+  EXPECT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond));
+  std::ostringstream os;
+  obs::write_jsonl(w.trace().recorded(), os);
+  return {os.str(), injector.script()};
+}
+
+// Two independent worlds driven by the same seed must produce byte-identical
+// JSONL traces — faults, deliveries, views, everything.
+TEST(ChurnDeterminism, SameSeedByteIdenticalTrace) {
+  const ChurnParams param{7, 5, 2, gcs::ForwardingKind::kMinCopies, 0.02};
+  const InjectedRun a = RunChurn(param);
+  const InjectedRun b = RunChurn(param);
+  ASSERT_FALSE(a.jsonl.empty());
+  EXPECT_EQ(a.jsonl, b.jsonl);
+}
+
+// Replaying the fault script recorded by a generate run reproduces the exact
+// execution: the repro bundles vsgc_stress emits are faithful by construction.
+TEST(ChurnDeterminism, GenerateThenReplayByteIdenticalTrace) {
+  const ChurnParams param{13, 4, 1, gcs::ForwardingKind::kMinCopies, 0.0};
+  const InjectedRun generated = RunChurn(param);
+  ASSERT_FALSE(generated.script.ops.empty());
+  const InjectedRun replayed = RunChurn(param, &generated.script);
+  EXPECT_EQ(generated.jsonl, replayed.jsonl);
+}
 
 }  // namespace
 }  // namespace vsgc

@@ -97,13 +97,53 @@ TEST(Simulator, RunawayCapBoundsExecution) {
   std::function<void()> loop = [&] { sim.schedule(1, loop); };
   sim.schedule(1, loop);
   const QuiescenceResult result = sim.run_to_quiescence(/*max_events=*/1000);
-  EXPECT_GT(result.executed, 1000u - 2);
-  EXPECT_LE(result.executed, 1002u);
+  EXPECT_EQ(result.executed, 1000u) << "the cap is exact";
   EXPECT_TRUE(result.capped) << "a cap trip must be distinguishable";
   EXPECT_FALSE(sim.quiescent());
   // Implicit conversion keeps count-style call sites working.
   const std::size_t as_count = sim.run_to_quiescence(/*max_events=*/1000);
   EXPECT_GT(as_count, 0u);
+}
+
+TEST(Simulator, CapBoundaryIsExact) {
+  // Exactly max_events live events: drains clean, no cap trip.
+  {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 5; ++i) sim.schedule(i + 1, [&] { ++fired; });
+    const QuiescenceResult result = sim.run_to_quiescence(/*max_events=*/5);
+    EXPECT_EQ(result.executed, 5u);
+    EXPECT_FALSE(result.capped) << "hitting the cap exactly is not a trip";
+    EXPECT_EQ(fired, 5);
+    EXPECT_TRUE(sim.quiescent());
+  }
+  // One event over: exactly max_events execute and the cap trips.
+  {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 6; ++i) sim.schedule(i + 1, [&] { ++fired; });
+    const QuiescenceResult result = sim.run_to_quiescence(/*max_events=*/5);
+    EXPECT_EQ(result.executed, 5u) << "never executes past the cap";
+    EXPECT_TRUE(result.capped);
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(sim.pending_events(), 1u) << "the extra event stays queued";
+  }
+}
+
+TEST(Simulator, CancelledEventsDoNotConsumeTheCap) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<TimerHandle> cancelled;
+  for (int i = 0; i < 10; ++i) {
+    cancelled.push_back(sim.schedule(i + 1, [&] { ++fired; }));
+  }
+  for (TimerHandle& h : cancelled) h.cancel();
+  for (int i = 0; i < 3; ++i) sim.schedule(100 + i, [&] { ++fired; });
+  const QuiescenceResult result = sim.run_to_quiescence(/*max_events=*/3);
+  EXPECT_EQ(result.executed, 3u);
+  EXPECT_FALSE(result.capped)
+      << "discarding cancelled events must not trip the cap";
+  EXPECT_EQ(fired, 3);
 }
 
 TEST(Simulator, CleanDrainIsNotCapped) {

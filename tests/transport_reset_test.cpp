@@ -7,28 +7,38 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "spec/co_rfifo_checker.hpp"
 #include "transport/co_rfifo.hpp"
 
 namespace vsgc::transport {
 namespace {
 
 struct Pair {
-  explicit Pair(net::Network::Config cfg = {}, std::uint64_t seed = 1)
+  explicit Pair(net::Network::Config cfg = {}, std::uint64_t seed = 1,
+                CoRfifoTransport::Config tcfg = {})
       : network(sim, Rng(seed), cfg),
-        a(sim, network, net::NodeId{1}),
-        b(sim, network, net::NodeId{2}) {
+        a(sim, network, net::NodeId{1}, tcfg),
+        b(sim, network, net::NodeId{2}, tcfg) {
     a.set_reliable({net::NodeId{2}});
-    b.set_deliver_handler([this](net::NodeId, const std::any& payload) {
-      received.push_back(std::any_cast<std::uint64_t>(payload));
+    checker.note_reliable(net::NodeId{1}, {net::NodeId{1}, net::NodeId{2}});
+    b.set_deliver_handler([this](net::NodeId from, const std::any& payload) {
+      const auto uid = std::any_cast<std::uint64_t>(payload);
+      checker.note_deliver(from, net::NodeId{2}, uid);
+      received.push_back(uid);
     });
   }
 
-  void send(std::uint64_t uid) { a.send({net::NodeId{2}}, uid, 8); }
+  void send(std::uint64_t uid) {
+    checker.note_send(net::NodeId{1}, {net::NodeId{2}}, uid);
+    a.send({net::NodeId{2}}, uid, 8);
+  }
 
   sim::Simulator sim;
   net::Network network;
   CoRfifoTransport a;
   CoRfifoTransport b;
+  /// Every delivery is checked against the CO_RFIFO spec automaton.
+  spec::CoRfifoChecker checker;
   std::vector<std::uint64_t> received;
 };
 
@@ -117,6 +127,69 @@ TEST(CoRfifoReset, LossDuringHandshakeStillConverges) {
   ASSERT_EQ(h.received.size(), 20u) << "reset + retransmission must deliver "
                                        "the whole post-recovery stream";
   for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(h.received[i], 11 + i);
+}
+
+TEST(CoRfifoReset, RehomedPacketsCountAsRetransmissions) {
+  // Regression: the reset re-home loop used to bypass stats_.retransmissions,
+  // so a recovery storm looked free in the retransmission tables. With the
+  // retransmit timer pushed out of reach, the one re-homed packet is the only
+  // possible retransmission.
+  CoRfifoTransport::Config tcfg;
+  tcfg.retransmit_timeout = 3600 * sim::kSecond;
+  Pair h({}, 1, tcfg);
+  h.send(1);
+  h.sim.run_until(h.sim.now() + sim::kSecond);
+  ASSERT_EQ(h.received.size(), 1u);
+  ASSERT_EQ(h.a.stats().retransmissions, 0u);
+
+  h.b.crash();
+  h.sim.run_until(h.sim.now() + sim::kMillisecond);
+  h.b.recover();
+  h.received.clear();
+  h.send(2);
+  h.sim.run_until(h.sim.now() + 2 * sim::kSecond);
+
+  EXPECT_EQ(h.received, (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(h.a.stats().retransmissions, 1u)
+      << "re-homing the unacked suffix onto the fresh incarnation is a "
+         "retransmission and must be counted as one";
+}
+
+TEST(CoRfifoReset, IncarnationResetUnderSustainedLossStaysWithinSpec) {
+  // The reset handshake itself runs under sustained packet loss AND a link
+  // outage that strands the first reset exchanges: the receiver crashes and
+  // recovers while the partition holds, so every handshake packet sent up to
+  // then is lost. Pair's CoRfifoChecker asserts FIFO/no-gap/no-duplicate on
+  // every delivery throughout.
+  net::Network::Config cfg;
+  cfg.drop_probability = 0.25;
+  Pair h(cfg, 4242);
+  for (std::uint64_t i = 1; i <= 5; ++i) h.send(i);
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(h.received.size(), 5u);
+
+  h.network.set_link_up(net::NodeId{1}, net::NodeId{2}, false);
+  for (std::uint64_t i = 6; i <= 8; ++i) h.send(i);
+  h.sim.run_until(h.sim.now() + 100 * sim::kMillisecond);
+  h.b.crash();
+  h.sim.run_until(h.sim.now() + 50 * sim::kMillisecond);
+  h.b.recover();
+  // Recovery completed behind the partition: any reset traffic is stranded.
+  h.sim.run_until(h.sim.now() + 100 * sim::kMillisecond);
+  EXPECT_EQ(h.received.size(), 5u) << "nothing crosses a downed link";
+
+  h.network.set_link_up(net::NodeId{1}, net::NodeId{2}, true);
+  h.sim.run_to_quiescence();
+  h.send(9);
+  h.send(10);
+  h.sim.run_to_quiescence();
+
+  const std::vector<std::uint64_t> tail(h.received.begin() + 5,
+                                        h.received.end());
+  EXPECT_EQ(tail, (std::vector<std::uint64_t>{6, 7, 8, 9, 10}))
+      << "the unacked suffix and fresh traffic arrive exactly once, in order";
+  EXPECT_GE(h.a.stats().retransmissions, 3u)
+      << "the stranded suffix had to be retransmitted";
 }
 
 TEST(CoRfifoReset, StaleResetAckIgnored) {

@@ -216,5 +216,32 @@ TEST(CoRfifo, ByteAccountingIncludesHeaders) {
   EXPECT_GE(h.transports[1]->stats().acks_sent, 1u);
 }
 
+TEST(CoRfifo, LoopbackCountsBytesLikeARemoteSend) {
+  // Regression: self-addressed copies used to increment messages_sent but
+  // never bytes_sent, under-counting every sync-traffic byte table.
+  Harness h(1);
+  h.send(0, {0}, 1);
+  h.sim.run_to_quiescence();
+  const auto& stats = h.transports[0]->stats();
+  EXPECT_EQ(stats.messages_sent, 1u);
+  EXPECT_EQ(stats.messages_delivered, 1u);
+  EXPECT_EQ(stats.bytes_sent, 8u + kPacketHeaderBytes);
+  EXPECT_EQ(stats.loopbacks_dropped, 0u);
+}
+
+TEST(CoRfifo, LoopbackAcrossOwnCrashIsACountedDrop) {
+  Harness h(1);
+  h.send(0, {0}, 1);
+  h.transports[0]->crash();  // loopback still in flight
+  h.sim.run_to_quiescence();
+  const auto& stats = h.transports[0]->stats();
+  EXPECT_TRUE(h.received[0].empty());
+  EXPECT_EQ(stats.messages_delivered, 0u);
+  EXPECT_EQ(stats.loopbacks_dropped, 1u)
+      << "a loopback lost to our own crash must be counted, not vanish";
+  EXPECT_EQ(stats.bytes_sent, 8u + kPacketHeaderBytes)
+      << "bytes were put on the (virtual) wire before the crash";
+}
+
 }  // namespace
 }  // namespace vsgc::transport

@@ -1,0 +1,382 @@
+// vsgc_stress: seeded stress fuzzer for the full GCS stack.
+//
+// Sweeps a range of seeds; for each seed it builds an app::World with every
+// spec checker attached, drives a sim::FailureInjector churn schedule
+// against it, then runs the stabilize-and-check-liveness epilogue (Property
+// 4.2): heal everything, recover everyone, require reconvergence, send a
+// probe, and check the recorded trace with the liveness checker.
+//
+// On any checker violation (safety thrown mid-run, or the liveness epilogue
+// failing) it writes a self-contained repro bundle:
+//
+//   <out>/seed<N>/config.json        world + policy configuration
+//   <out>/seed<N>/fault_script.json  the full fault schedule that failed
+//   <out>/seed<N>/fault_script.min.json  greedily minimized schedule
+//   <out>/seed<N>/trace.jsonl        full JSONL trace of the failing run
+//   <out>/seed<N>/trace.min.jsonl    trace of the minimized run
+//   <out>/seed<N>/violation.txt      the violation messages
+//
+// and a greedy fault-script minimizer re-runs the seed with ops elided one
+// at a time, keeping every elision that preserves the violation — shrinking
+// a ~50-op schedule to the handful of faults that matter.
+//
+// Replay: --replay <bundle-dir> re-executes a bundle (the minimized script
+// if present) and reports whether the violation reproduces.
+//
+// Self-test: --inject-bug <step> arms a deliberate endpoint bug (a forged
+// duplicate delivery) at the given churn step; with --expect-violation the
+// exit code is 0 only if the bug was caught, minimized, and the minimized
+// bundle replays to a violation — the CI pipeline check.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/world.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_recorder.hpp"
+#include "sim/failure_injector.hpp"
+#include "spec/liveness_checker.hpp"
+#include "util/assert.hpp"
+
+namespace vsgc {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct StressConfig {
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 49;
+  int clients = 4;
+  int servers = 1;
+  int steps = 25;
+  double drop = 0.0;
+  bool two_tier = false;
+  gcs::ForwardingKind forwarding = gcs::ForwardingKind::kMinCopies;
+  int bug_at_step = -1;
+  std::string out_dir = "stress-out";
+  bool minimize = true;
+  bool expect_violation = false;
+  std::string replay_dir;  // non-empty: replay a bundle instead of sweeping
+};
+
+obs::JsonValue config_json(const StressConfig& cfg, std::uint64_t seed) {
+  obs::JsonValue j = obs::JsonValue::object();
+  j["seed"] = seed;
+  j["clients"] = cfg.clients;
+  j["servers"] = cfg.servers;
+  j["steps"] = cfg.steps;
+  j["drop"] = cfg.drop;
+  j["two_tier"] = cfg.two_tier;
+  j["forwarding"] =
+      cfg.forwarding == gcs::ForwardingKind::kSimple ? "simple" : "mincopies";
+  j["bug_at_step"] = cfg.bug_at_step;
+  return j;
+}
+
+bool config_from_json(const obs::JsonValue& j, StressConfig* cfg,
+                      std::uint64_t* seed) {
+  const obs::JsonValue* s = j.find("seed");
+  if (s == nullptr || !s->is_int()) return false;
+  *seed = static_cast<std::uint64_t>(s->as_int());
+  if (const auto* v = j.find("clients")) cfg->clients = static_cast<int>(v->as_int());
+  if (const auto* v = j.find("servers")) cfg->servers = static_cast<int>(v->as_int());
+  if (const auto* v = j.find("steps")) cfg->steps = static_cast<int>(v->as_int());
+  if (const auto* v = j.find("drop")) cfg->drop = v->as_double();
+  if (const auto* v = j.find("two_tier")) cfg->two_tier = v->as_bool();
+  if (const auto* v = j.find("bug_at_step")) {
+    cfg->bug_at_step = static_cast<int>(v->as_int());
+  }
+  if (const auto* v = j.find("forwarding")) {
+    cfg->forwarding = v->as_string() == "simple" ? gcs::ForwardingKind::kSimple
+                                                 : gcs::ForwardingKind::kMinCopies;
+  }
+  return true;
+}
+
+app::WorldConfig world_config(const StressConfig& cfg, std::uint64_t seed) {
+  app::WorldConfig wc;
+  wc.num_clients = cfg.clients;
+  wc.num_servers = cfg.servers;
+  wc.seed = seed;
+  wc.forwarding = cfg.forwarding;
+  wc.net.drop_probability = cfg.drop;
+  if (cfg.two_tier) {
+    wc.sync_routing.mode = gcs::SyncRouting::Mode::kTwoTier;
+    const int half = (cfg.clients + 1) / 2;
+    for (int i = 0; i < cfg.clients; ++i) {
+      wc.sync_routing.leader_of[ProcessId{static_cast<std::uint32_t>(i + 1)}] =
+          ProcessId{static_cast<std::uint32_t>(i < half ? 1 : half + 1)};
+    }
+  }
+  return wc;
+}
+
+sim::FailureInjector::Policy make_policy(const StressConfig& cfg) {
+  sim::FailureInjector::Policy policy;
+  policy.steps = cfg.steps;
+  policy.base_drop = cfg.drop;
+  policy.bug_at_step = cfg.bug_at_step;
+  return policy;
+}
+
+struct RunResult {
+  bool violation = false;
+  std::string what;
+  sim::FaultScript script;       ///< ops actually applied
+  std::vector<spec::Event> trace;
+};
+
+/// One full execution: generate mode when `replay` is null, otherwise replay
+/// of `*replay` with `elide` skipped. Any safety/liveness failure lands in
+/// the result instead of propagating.
+RunResult run_one(const StressConfig& cfg, std::uint64_t seed,
+                  const sim::FaultScript* replay = nullptr,
+                  const std::set<std::size_t>& elide = {}) {
+  RunResult result;
+  app::World w(world_config(cfg, seed));
+  sim::FailureInjector injector(w.fault_target(), make_policy(cfg), seed);
+  try {
+    w.start();
+    if (!w.run_until_converged(w.all_members(), 10 * sim::kSecond)) {
+      throw InvariantViolation("initial convergence failed (before faults)");
+    }
+    if (replay != nullptr) injector.replay(*replay, elide);
+    else injector.run_churn();
+
+    // Stabilize-and-check-liveness epilogue (Property 4.2).
+    injector.stabilize();
+    if (!w.run_until_converged(w.all_members(), 60 * sim::kSecond)) {
+      throw InvariantViolation(
+          "liveness: no reconvergence within 60s after stabilization");
+    }
+    w.client(0).send("stress-probe-" + std::to_string(seed));
+    w.run_for(3 * sim::kSecond);
+    w.checkers().finalize();
+    if (!spec::LivenessChecker::check(w.trace().recorded())) {
+      throw InvariantViolation(
+          "liveness: membership did not stabilize in the recorded trace");
+    }
+  } catch (const InvariantViolation& e) {
+    result.violation = true;
+    result.what = e.what();
+  }
+  result.script = injector.script();
+  result.trace = w.trace().recorded();
+  return result;
+}
+
+/// Greedy fault-script minimizer: repeatedly try eliding each op; keep an
+/// elision whenever the violation persists. Loops to a fixpoint (max 3
+/// passes) so an op unlocked by a later removal still gets elided.
+std::set<std::size_t> minimize(const StressConfig& cfg, std::uint64_t seed,
+                               const sim::FaultScript& script) {
+  std::set<std::size_t> elided;
+  for (int pass = 0; pass < 3; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 0; i < script.ops.size(); ++i) {
+      if (elided.contains(i)) continue;
+      std::set<std::size_t> trial = elided;
+      trial.insert(i);
+      if (run_one(cfg, seed, &script, trial).violation) {
+        elided = std::move(trial);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return elided;
+}
+
+void write_text(const fs::path& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary);
+  os << text;
+}
+
+void write_json(const fs::path& path, const obs::JsonValue& j) {
+  std::ofstream os(path, std::ios::binary);
+  j.write_pretty(os);
+  os << '\n';
+}
+
+void write_trace(const fs::path& path, const std::vector<spec::Event>& trace) {
+  std::ofstream os(path, std::ios::binary);
+  obs::write_jsonl(trace, os);
+}
+
+sim::FaultScript subset(const sim::FaultScript& script,
+                        const std::set<std::size_t>& elided) {
+  sim::FaultScript out;
+  out.seed = script.seed;
+  for (std::size_t i = 0; i < script.ops.size(); ++i) {
+    if (!elided.contains(i)) out.ops.push_back(script.ops[i]);
+  }
+  return out;
+}
+
+/// Writes the bundle; returns true if the minimized script still replays to
+/// a violation (the bundle is actionable).
+bool emit_bundle(const StressConfig& cfg, std::uint64_t seed,
+                 const RunResult& failed) {
+  const fs::path dir = fs::path(cfg.out_dir) / ("seed" + std::to_string(seed));
+  fs::create_directories(dir);
+  write_json(dir / "config.json", config_json(cfg, seed));
+  write_json(dir / "fault_script.json", failed.script.to_json());
+  write_trace(dir / "trace.jsonl", failed.trace);
+
+  std::ostringstream violation;
+  violation << failed.what << "\n";
+  bool min_reproduces = false;
+  if (cfg.minimize) {
+    const std::set<std::size_t> elided = minimize(cfg, seed, failed.script);
+    const sim::FaultScript min_script = subset(failed.script, elided);
+    const RunResult min_run = run_one(cfg, seed, &min_script);
+    min_reproduces = min_run.violation;
+    write_json(dir / "fault_script.min.json", min_script.to_json());
+    write_trace(dir / "trace.min.jsonl", min_run.trace);
+    violation << "minimized: " << failed.script.ops.size() << " -> "
+              << min_script.ops.size() << " ops\n";
+    violation << "minimized violation: "
+              << (min_run.violation ? min_run.what : "(did not reproduce)")
+              << "\n";
+  } else {
+    // Without minimization the full script must still replay to a violation.
+    min_reproduces = run_one(cfg, seed, &failed.script).violation;
+  }
+  write_text(dir / "violation.txt", violation.str());
+  std::cerr << "  repro bundle: " << dir.string() << "\n";
+  return min_reproduces;
+}
+
+int replay_bundle(StressConfig cfg) {
+  const fs::path dir = cfg.replay_dir;
+  std::ifstream cfg_in(dir / "config.json");
+  std::stringstream cfg_text;
+  cfg_text << cfg_in.rdbuf();
+  std::string error;
+  const obs::JsonValue cfg_json_v = obs::JsonValue::parse(cfg_text.str(), &error);
+  std::uint64_t seed = 0;
+  if (!config_from_json(cfg_json_v, &cfg, &seed)) {
+    std::cerr << "cannot parse " << (dir / "config.json").string() << "\n";
+    return 2;
+  }
+  fs::path script_path = dir / "fault_script.min.json";
+  if (!fs::exists(script_path)) script_path = dir / "fault_script.json";
+  std::ifstream script_in(script_path);
+  std::stringstream script_text;
+  script_text << script_in.rdbuf();
+  sim::FaultScript script;
+  if (!sim::FaultScript::from_json(
+          obs::JsonValue::parse(script_text.str(), &error), &script)) {
+    std::cerr << "cannot parse " << script_path.string() << "\n";
+    return 2;
+  }
+  const RunResult result = run_one(cfg, seed, &script);
+  if (result.violation) {
+    std::cout << "replay of " << script_path.string()
+              << " reproduces the violation:\n  " << result.what << "\n";
+    return cfg.expect_violation ? 0 : 1;
+  }
+  std::cout << "replay of " << script_path.string() << " ran clean\n";
+  return cfg.expect_violation ? 1 : 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: vsgc_stress [--seeds LO:HI] [--clients N] [--servers M]\n"
+      "                   [--steps K] [--drop P] [--two-tier]\n"
+      "                   [--forwarding simple|mincopies] [--out DIR]\n"
+      "                   [--no-minimize] [--inject-bug STEP]\n"
+      "                   [--expect-violation]\n"
+      "       vsgc_stress --replay BUNDLE_DIR [--expect-violation]\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace vsgc
+
+int main(int argc, char** argv) {
+  using namespace vsgc;
+  StressConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      const std::string v = value();
+      const auto colon = v.find(':');
+      if (colon == std::string::npos) {
+        cfg.seed_lo = cfg.seed_hi = std::strtoull(v.c_str(), nullptr, 10);
+      } else {
+        cfg.seed_lo = std::strtoull(v.substr(0, colon).c_str(), nullptr, 10);
+        cfg.seed_hi = std::strtoull(v.substr(colon + 1).c_str(), nullptr, 10);
+      }
+    } else if (arg == "--clients") {
+      cfg.clients = std::atoi(value().c_str());
+    } else if (arg == "--servers") {
+      cfg.servers = std::atoi(value().c_str());
+    } else if (arg == "--steps") {
+      cfg.steps = std::atoi(value().c_str());
+    } else if (arg == "--drop") {
+      cfg.drop = std::atof(value().c_str());
+    } else if (arg == "--two-tier") {
+      cfg.two_tier = true;
+    } else if (arg == "--forwarding") {
+      cfg.forwarding = value() == "simple" ? gcs::ForwardingKind::kSimple
+                                           : gcs::ForwardingKind::kMinCopies;
+    } else if (arg == "--out") {
+      cfg.out_dir = value();
+    } else if (arg == "--no-minimize") {
+      cfg.minimize = false;
+    } else if (arg == "--inject-bug") {
+      cfg.bug_at_step = std::atoi(value().c_str());
+    } else if (arg == "--expect-violation") {
+      cfg.expect_violation = true;
+    } else if (arg == "--replay") {
+      cfg.replay_dir = value();
+    } else {
+      return usage();
+    }
+  }
+
+  if (!cfg.replay_dir.empty()) return replay_bundle(cfg);
+  if (cfg.seed_hi < cfg.seed_lo) return usage();
+
+  std::uint64_t violations = 0;
+  std::uint64_t actionable = 0;
+  for (std::uint64_t seed = cfg.seed_lo; seed <= cfg.seed_hi; ++seed) {
+    const RunResult result = run_one(cfg, seed);
+    if (!result.violation) {
+      std::cout << "seed " << seed << ": ok (" << result.script.ops.size()
+                << " fault ops)\n";
+      continue;
+    }
+    ++violations;
+    std::cout << "seed " << seed << ": VIOLATION\n  " << result.what << "\n";
+    if (emit_bundle(cfg, seed, result)) ++actionable;
+  }
+
+  const std::uint64_t seeds = cfg.seed_hi - cfg.seed_lo + 1;
+  std::cout << "\n" << seeds << " seeds, " << violations << " violation(s)";
+  if (violations > 0) std::cout << ", " << actionable << " minimized+replayed";
+  std::cout << "\n";
+
+  if (cfg.expect_violation) {
+    // Self-test mode: success means the pipeline caught the planted bug AND
+    // the (minimized) bundle replays to the violation.
+    return violations > 0 && actionable == violations ? 0 : 1;
+  }
+  return violations == 0 ? 0 : 1;
+}
