@@ -16,8 +16,14 @@ cmake -B "$BUILD_DIR" -S . \
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== test =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+echo "== test: unit =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L unit
+
+echo "== test: property =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L property
+
+echo "== test: mc =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L mc
 
 echo "== bench smoke + artifact validation =="
 ARTIFACT_DIR="$BUILD_DIR/artifacts"
@@ -54,5 +60,27 @@ rm -rf "$PLANT_OUT"
 "$BUILD_DIR/tools/vsgc_stress" --replay "$PLANT_OUT/seed3" --expect-violation \
   > /dev/null
 echo "planted bug caught, minimized, and replayed"
+
+echo "== model checker: exhaustive exploration + artifact =="
+# Bounded exploration of the 3-process view-change scenario must exhaust the
+# frontier within the deviation bound and emit a schema-valid BENCH_mc.json.
+MC_OUT="$BUILD_DIR/mc-out"
+rm -rf "$MC_OUT"
+mkdir -p "$MC_OUT"
+VSGC_BENCH_OUT="$MC_OUT" "$BUILD_DIR/tools/vsgc_mc" \
+  --clients 3 --servers 1 --max-deviations 1 --out "$MC_OUT"
+"$BUILD_DIR/tools/validate_bench_json" "$MC_OUT"/BENCH_mc.json
+
+echo "== model checker self-check (planted bug) =="
+# The explorer must find the planted duplicate-delivery bug, minimize the
+# schedule, and the minimized ScheduleScript must replay byte-identically.
+MC_PLANT="$BUILD_DIR/mc-selfcheck"
+rm -rf "$MC_PLANT"
+mkdir -p "$MC_PLANT"
+VSGC_BENCH_OUT="$MC_PLANT" "$BUILD_DIR/tools/vsgc_mc" --inject-bug \
+  --max-deviations 1 --expect-violation --out "$MC_PLANT" > /dev/null
+"$BUILD_DIR/tools/vsgc_mc" --replay "$MC_PLANT/seed1" --expect-violation \
+  > /dev/null
+echo "planted schedule bug found, minimized, and replayed byte-identically"
 
 echo "CI OK"

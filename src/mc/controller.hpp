@@ -1,0 +1,81 @@
+// Controllers: the NondetSource implementations the explorer plugs into the
+// simulator and network seams.
+//
+//   * ScriptController — forces a pick vector positionally and defaults
+//     (pick 0) once the vector is exhausted. The empty vector is the
+//     *default schedule*: every tie-break falls back to insertion order,
+//     every loss draw to "delivered", every jitter draw to the minimum —
+//     exactly the uncontrolled execution. DFS prefixes, minimizer probes,
+//     and full-script replays are all just different pick vectors.
+//   * RandomController — picks uniformly from a seeded Rng; the random-walk
+//     fallback. It records what it picked, so a violating walk still yields
+//     a deterministic ScheduleScript (replayed by a ScriptController).
+//
+// Both record every consulted choice point, which is what makes any run
+// replayable: the recorded (kind, n, pick) sequence IS the schedule.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mc/schedule_script.hpp"
+#include "sim/nondet.hpp"
+#include "util/rng.hpp"
+
+namespace vsgc::mc {
+
+/// Common recording base: derived classes decide the pick, this records it.
+class RecordingController : public sim::NondetSource {
+ public:
+  std::size_t choose(const char* kind, std::size_t n) final {
+    if (n <= 1) return 0;  // no alternatives: not a choice point
+    std::uint32_t pick = pick_for(static_cast<std::uint32_t>(n));
+    if (pick >= n) pick = static_cast<std::uint32_t>(n - 1);
+    trace_.push_back(Choice{kind, static_cast<std::uint32_t>(n), pick});
+    return pick;
+  }
+
+  /// Every choice point consumed so far, in order.
+  const std::vector<Choice>& trace() const { return trace_; }
+  std::size_t consumed() const { return trace_.size(); }
+
+ protected:
+  virtual std::uint32_t pick_for(std::uint32_t n) = 0;
+
+ private:
+  std::vector<Choice> trace_;
+};
+
+class ScriptController : public RecordingController {
+ public:
+  ScriptController() = default;
+  explicit ScriptController(std::vector<std::uint32_t> forced)
+      : forced_(std::move(forced)) {}
+  explicit ScriptController(const ScheduleScript& script)
+      : forced_(script.picks()) {}
+
+ protected:
+  std::uint32_t pick_for(std::uint32_t) override {
+    const std::size_t i = consumed();
+    return i < forced_.size() ? forced_[i] : 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> forced_;
+};
+
+class RandomController : public RecordingController {
+ public:
+  explicit RandomController(std::uint64_t seed) : rng_(seed * 6271 + 29) {}
+
+ protected:
+  std::uint32_t pick_for(std::uint32_t n) override {
+    return static_cast<std::uint32_t>(rng_.next_below(n));
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace vsgc::mc

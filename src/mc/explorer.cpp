@@ -1,0 +1,345 @@
+#include "mc/explorer.hpp"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "app/world.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_recorder.hpp"
+#include "spec/liveness_checker.hpp"
+#include "util/assert.hpp"
+
+namespace vsgc::mc {
+
+namespace {
+
+/// FNV-1a over a choice sequence: two runs with equal signatures consumed
+/// identical choices and are therefore the same execution.
+std::uint64_t signature(const std::vector<Choice>& choices) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const Choice& c : choices) {
+    for (const char ch : c.kind) mix(static_cast<unsigned char>(ch));
+    mix(c.n);
+    mix(c.pick);
+  }
+  return h;
+}
+
+std::uint64_t trace_hash(const std::vector<spec::Event>& trace) {
+  std::ostringstream os;
+  obs::write_jsonl(trace, os);
+  const std::string text = os.str();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char ch : text) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ScenarioConfig <-> JSON
+// ---------------------------------------------------------------------------
+
+obs::JsonValue ScenarioConfig::to_json() const {
+  obs::JsonValue j = obs::JsonValue::object();
+  j["clients"] = clients;
+  j["servers"] = servers;
+  j["seed"] = seed;
+  j["messages"] = messages;
+  j["trigger_leave"] = trigger_leave;
+  j["fault_slots"] = fault_slots;
+  j["slot_gap"] = slot_gap;
+  j["settle"] = settle;
+  j["drop"] = drop;
+  j["jitter"] = jitter;
+  j["inject_bug"] = inject_bug;
+  return j;
+}
+
+bool ScenarioConfig::from_json(const obs::JsonValue& j, ScenarioConfig* out) {
+  if (!j.is_object()) return false;
+  const obs::JsonValue* seed = j.find("seed");
+  if (seed == nullptr || !seed->is_int()) return false;
+  out->seed = static_cast<std::uint64_t>(seed->as_int());
+  if (const auto* v = j.find("clients")) out->clients = static_cast<int>(v->as_int());
+  if (const auto* v = j.find("servers")) out->servers = static_cast<int>(v->as_int());
+  if (const auto* v = j.find("messages")) out->messages = static_cast<int>(v->as_int());
+  if (const auto* v = j.find("trigger_leave")) out->trigger_leave = v->as_bool();
+  if (const auto* v = j.find("fault_slots")) out->fault_slots = static_cast<int>(v->as_int());
+  if (const auto* v = j.find("slot_gap")) out->slot_gap = v->as_int();
+  if (const auto* v = j.find("settle")) out->settle = v->as_int();
+  if (const auto* v = j.find("drop")) out->drop = v->as_double();
+  if (const auto* v = j.find("jitter")) out->jitter = v->as_int();
+  if (const auto* v = j.find("inject_bug")) out->inject_bug = v->as_bool();
+  return true;
+}
+
+obs::JsonValue ExploreStats::to_json() const {
+  obs::JsonValue j = obs::JsonValue::object();
+  j["runs"] = runs;
+  j["deduped"] = deduped;
+  j["choice_points"] = choice_points;
+  j["unique_traces"] = unique_traces;
+  j["violations"] = violations;
+  j["depth_completed"] = depth_completed;
+  j["frontier_exhausted"] = frontier_exhausted;
+  j["budget_exhausted"] = budget_exhausted;
+  obs::JsonValue lv = obs::JsonValue::array();
+  for (const Level& l : levels) {
+    obs::JsonValue row = obs::JsonValue::object();
+    row["depth"] = l.depth;
+    row["runs"] = l.runs;
+    row["deduped"] = l.deduped;
+    row["enqueued"] = l.enqueued;
+    lv.push_back(std::move(row));
+  }
+  j["levels"] = std::move(lv);
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario execution
+// ---------------------------------------------------------------------------
+
+std::vector<sim::FaultOp> fault_menu(const ScenarioConfig& sc) {
+  std::vector<sim::FaultOp> menu;
+  for (int i = 0; i < sc.clients; ++i) {
+    sim::FaultOp op;
+    op.kind = sim::FaultOp::Kind::kCrash;
+    op.a = i;
+    menu.push_back(op);
+  }
+  for (int i = 0; i < sc.clients; ++i) {
+    sim::FaultOp op;
+    op.kind = sim::FaultOp::Kind::kLinkDown;
+    op.a = sim::encode_process(i);
+    op.b = sim::encode_server(0);
+    op.oneway = true;  // p_i -> s0 down, reverse direction untouched
+    menu.push_back(op);
+  }
+  if (sc.servers >= 2) {
+    for (int s = 0; s < sc.servers; ++s) {
+      sim::FaultOp op;
+      op.kind = sim::FaultOp::Kind::kServerDown;
+      op.a = s;
+      menu.push_back(op);
+    }
+  }
+  if (sc.inject_bug) {
+    sim::FaultOp op;
+    op.kind = sim::FaultOp::Kind::kBugDupDeliver;
+    menu.push_back(op);
+  }
+  return menu;
+}
+
+RunResult run_scenario(const ScenarioConfig& sc, RecordingController& ctl) {
+  RunResult out;
+  app::WorldConfig wc;
+  wc.num_clients = sc.clients;
+  wc.num_servers = sc.servers;
+  wc.seed = sc.seed;
+  wc.net.drop_probability = sc.drop;
+  wc.net.jitter = sc.jitter;
+  app::World w(wc);
+
+  sim::FailureInjector::Policy policy;
+  policy.base_drop = sc.drop;
+  policy.base_jitter = sc.jitter;
+  sim::FailureInjector injector(w.fault_target(), policy, sc.seed);
+  const std::vector<sim::FaultOp> menu = fault_menu(sc);
+
+  try {
+    w.start();
+    if (!w.run_until_converged(w.all_members(), 10 * sim::kSecond)) {
+      throw InvariantViolation("initial convergence failed (before control)");
+    }
+
+    // ---- Controlled window: the schedule is now the controller's. ----
+    w.sim().set_nondet(&ctl);
+    w.network().set_nondet(&ctl);
+    for (int m = 0; m < sc.messages; ++m) {
+      sim::FaultOp op;
+      op.kind = sim::FaultOp::Kind::kTraffic;
+      op.a = m % sc.clients;
+      op.payload = "mc-" + std::to_string(m);
+      injector.apply_now(op);
+    }
+    if (sc.trigger_leave && sc.clients > 1) {
+      sim::FaultOp op;
+      op.kind = sim::FaultOp::Kind::kLeave;
+      op.a = sc.clients - 1;
+      injector.apply_now(op);
+    }
+    for (int slot = 0; slot < sc.fault_slots; ++slot) {
+      w.run_for(sc.slot_gap);
+      if (menu.empty()) continue;
+      const std::size_t pick = ctl.choose("mc.fault", menu.size() + 1);
+      if (pick > 0) injector.apply_now(menu[pick - 1]);
+    }
+    w.run_for(sc.settle);
+    w.sim().set_nondet(nullptr);
+    w.network().set_nondet(nullptr);
+
+    // ---- Stabilize-and-check-liveness epilogue (Property 4.2). ----
+    injector.stabilize();
+    if (!w.run_until_converged(w.all_members(), 60 * sim::kSecond)) {
+      throw InvariantViolation(
+          "liveness: no reconvergence within 60s after stabilization");
+    }
+    w.client(0).send("mc-probe");
+    w.run_for(3 * sim::kSecond);
+    w.checkers().finalize();
+    if (!spec::LivenessChecker::check(w.trace().recorded())) {
+      throw InvariantViolation(
+          "liveness: membership did not stabilize in the recorded trace");
+    }
+  } catch (const InvariantViolation& e) {
+    out.violation = true;
+    out.what = e.what();
+  }
+  w.sim().set_nondet(nullptr);
+  w.network().set_nondet(nullptr);
+  out.script.seed = sc.seed;
+  out.script.choices = ctl.trace();
+  out.trace = w.trace().recorded();
+  out.sim_stats = w.sim().stats();
+  out.sim_time = w.sim().now();
+  return out;
+}
+
+RunResult run_scenario(const ScenarioConfig& sc,
+                       const std::vector<std::uint32_t>& forced) {
+  ScriptController ctl(forced);
+  return run_scenario(sc, ctl);
+}
+
+std::vector<std::uint32_t> minimize_schedule(
+    const ScenarioConfig& sc, const std::vector<std::uint32_t>& violating) {
+  std::vector<std::uint32_t> picks = violating;
+  for (int pass = 0; pass < 3; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 0; i < picks.size(); ++i) {
+      if (picks[i] == 0) continue;
+      std::vector<std::uint32_t> trial = picks;
+      trial[i] = 0;
+      if (run_scenario(sc, trial).violation) {
+        picks = std::move(trial);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  while (!picks.empty() && picks.back() == 0) picks.pop_back();
+  return picks;
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+std::optional<RunResult> Explorer::explore() {
+  stats_ = ExploreStats{};
+  std::set<std::uint64_t> seen_signatures;
+  std::set<std::uint64_t> seen_traces;
+  std::set<std::vector<std::uint32_t>> seen_prefixes;
+  std::vector<std::vector<std::uint32_t>> level;
+  level.push_back({});  // the default schedule
+
+  for (int depth = 0; depth <= xc_.max_deviations && !level.empty(); ++depth) {
+    ExploreStats::Level lvl;
+    lvl.depth = depth;
+    std::vector<std::vector<std::uint32_t>> next;
+    for (const std::vector<std::uint32_t>& prefix : level) {
+      if (stats_.runs >= xc_.max_runs) {
+        stats_.budget_exhausted = true;
+        stats_.levels.push_back(lvl);
+        return std::nullopt;
+      }
+      RunResult run = run_scenario(sc_, prefix);
+      ++stats_.runs;
+      ++lvl.runs;
+      stats_.choice_points += run.script.choices.size();
+      tally(run);
+      if (!seen_signatures.insert(signature(run.script.choices)).second) {
+        ++stats_.deduped;
+        ++lvl.deduped;
+        continue;  // identical execution already explored: no new children
+      }
+      if (seen_traces.insert(trace_hash(run.trace)).second) {
+        ++stats_.unique_traces;
+      }
+      if (run.violation) {
+        ++stats_.violations;
+        stats_.levels.push_back(lvl);
+        return run;
+      }
+      if (depth == xc_.max_deviations) continue;  // no children past the bound
+      const std::size_t horizon =
+          std::min(run.script.choices.size(), xc_.horizon);
+      for (std::size_t i = prefix.size(); i < horizon; ++i) {
+        const Choice& c = run.script.choices[i];
+        for (std::uint32_t pick = 1; pick < c.n; ++pick) {
+          std::vector<std::uint32_t> child;
+          child.reserve(i + 1);
+          for (std::size_t k = 0; k < i; ++k) {
+            child.push_back(run.script.choices[k].pick);
+          }
+          child.push_back(pick);
+          if (seen_prefixes.insert(child).second) {
+            next.push_back(std::move(child));
+            ++lvl.enqueued;
+          } else {
+            ++stats_.deduped;
+            ++lvl.deduped;
+          }
+        }
+      }
+    }
+    stats_.depth_completed = depth;
+    stats_.levels.push_back(lvl);
+    level = std::move(next);
+  }
+  stats_.frontier_exhausted = true;
+  return std::nullopt;
+}
+
+std::optional<RunResult> Explorer::random_walk(std::uint64_t seed_lo,
+                                               std::uint64_t seed_hi) {
+  stats_ = ExploreStats{};
+  std::set<std::uint64_t> seen_signatures;
+  std::set<std::uint64_t> seen_traces;
+  for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+    if (stats_.runs >= xc_.max_runs) {
+      stats_.budget_exhausted = true;
+      return std::nullopt;
+    }
+    RandomController ctl(seed);
+    RunResult run = run_scenario(sc_, ctl);
+    ++stats_.runs;
+    stats_.choice_points += run.script.choices.size();
+    tally(run);
+    if (!seen_signatures.insert(signature(run.script.choices)).second) {
+      ++stats_.deduped;
+      continue;
+    }
+    if (seen_traces.insert(trace_hash(run.trace)).second) {
+      ++stats_.unique_traces;
+    }
+    if (run.violation) {
+      ++stats_.violations;
+      return run;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vsgc::mc

@@ -21,15 +21,32 @@ void Network::send(NodeId from, NodeId to, std::any payload,
   ++stats_.packets_sent;
   stats_.bytes_sent += wire_size;
 
-  if (!can_send(from, to) || (config_.drop_probability > 0.0 &&
-                              rng_.chance(config_.drop_probability))) {
+  // Loss: an Rng draw normally; an explicit binary choice point under a
+  // NondetSource. Short-circuit order matches the uncontrolled path so no
+  // draw (or choice) is consumed for packets a fault already blocks.
+  bool dropped = false;
+  if (!can_send(from, to)) {
+    dropped = true;
+  } else if (config_.drop_probability > 0.0) {
+    dropped = nondet_ != nullptr ? nondet_->choose("net.drop", 2) == 1
+                                 : rng_.chance(config_.drop_probability);
+  }
+  if (dropped) {
     ++stats_.packets_dropped;
     return;
   }
 
   sim::Time delay = config_.base_latency;
-  if (config_.jitter > 0) delay += static_cast<sim::Time>(rng_.next_below(
-      static_cast<std::uint64_t>(config_.jitter) + 1));
+  if (config_.jitter > 0) {
+    // Under a NondetSource, jitter is abstracted to its boundary values
+    // (0 or the maximum): enough to flip arrival orders, without turning
+    // every packet into a jitter-sized fan-out.
+    delay += nondet_ != nullptr
+                 ? (nondet_->choose("net.jitter", 2) == 1 ? config_.jitter
+                                                          : sim::Time{0})
+                 : static_cast<sim::Time>(rng_.next_below(
+                       static_cast<std::uint64_t>(config_.jitter) + 1));
+  }
 
   sim::Time arrival = sim_.now() + delay;
   if (config_.fifo_links) {

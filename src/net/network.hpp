@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/node.hpp"
+#include "sim/nondet.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -107,6 +108,14 @@ class Network {
     config_.jitter = jitter;
   }
 
+  /// Install (or with nullptr remove) a controllable-nondeterminism source.
+  /// While installed, each per-packet loss draw (only where drop_probability
+  /// > 0) becomes a binary "net.drop" choice point and each jitter draw
+  /// (only where jitter > 0) a binary "net.jitter" boundary choice
+  /// (min-or-max delay) — the Rng is left untouched, so detaching restores
+  /// the baked random schedule exactly where it left off.
+  void set_nondet(sim::NondetSource* source) { nondet_ = source; }
+
  private:
   static std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
@@ -116,6 +125,7 @@ class Network {
   Rng rng_;
   Config config_;
   Stats stats_;
+  sim::NondetSource* nondet_ = nullptr;
 
   std::map<NodeId, Handler> handlers_;
   std::set<NodeId> down_nodes_;

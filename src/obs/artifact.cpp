@@ -19,12 +19,15 @@ BenchArtifact::BenchArtifact(std::string name)
 }
 
 void BenchArtifact::tally(const sim::Simulator& sim) {
-  const sim::Simulator::Stats& s = sim.stats();
+  tally(sim.stats(), sim.now());
+}
+
+void BenchArtifact::tally(const sim::Simulator::Stats& s, sim::Time sim_time) {
   events_executed_ += s.events_executed;
   events_cancelled_ += s.events_cancelled;
   peak_queue_depth_ = std::max(peak_queue_depth_,
                                static_cast<std::uint64_t>(s.peak_queue_depth));
-  sim_time_us_ += sim.now();
+  sim_time_us_ += sim_time;
 }
 
 std::string BenchArtifact::output_dir() {

@@ -44,6 +44,10 @@ class BenchArtifact {
   /// Fold one finished world's simulator stats into the "sim" section.
   void tally(const sim::Simulator& sim);
 
+  /// Same, from pre-aggregated kernel stats — for drivers (e.g. the model
+  /// checker) whose worlds are already destroyed when the artifact is built.
+  void tally(const sim::Simulator::Stats& stats, sim::Time sim_time);
+
   /// Install a registry dump as the "metrics" section (replaces any prior).
   void set_metrics(const Registry& registry) {
     root_["metrics"] = registry.to_json();

@@ -175,6 +175,11 @@ class FailureInjector {
   /// minimizer's probe); time still advances identically.
   void replay(const FaultScript& script, const std::set<std::size_t>& elide = {});
 
+  /// Apply one op at the current simulated time, recording it into script().
+  /// The model checker's fault decision points (src/mc) land explorer-chosen
+  /// faults mid-schedule through this; stabilize() still undoes them.
+  void apply_now(const FaultOp& op) { apply(op, /*record=*/true); }
+
   /// Undo every outstanding fault so liveness can be checked: heal the
   /// network, restore baseline drop/latency, bring servers up, disarm
   /// delivery crashes, rejoin leavers, recover crashed processes.

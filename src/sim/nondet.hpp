@@ -1,0 +1,34 @@
+// NondetSource: the controllable-nondeterminism seam for model checking.
+//
+// In a normal run every nondeterministic decision in the kernel and the
+// network (same-time event tie-breaks, loss draws, jitter draws) is resolved
+// by a seeded Rng or by insertion order. Installing a NondetSource turns
+// each of those decisions into an explicit *choice point*: the source is
+// consulted with the number of alternatives and returns the index to take.
+//
+// The mc layer (src/mc) provides sources that (a) force a recorded choice
+// prefix and default the rest — the substrate of systematic schedule
+// exploration and of byte-identical ScheduleScript replay — and (b) pick
+// uniformly at random from a seed (the random-walk fallback).
+//
+// With no source installed (`nullptr`, the default everywhere) behavior is
+// exactly the pre-existing deterministic one; the seam costs one branch.
+#pragma once
+
+#include <cstddef>
+
+namespace vsgc::sim {
+
+class NondetSource {
+ public:
+  virtual ~NondetSource() = default;
+
+  /// Resolve one nondeterministic choice among `n` >= 2 alternatives;
+  /// returns an index in [0, n). `kind` names the choice point for traces
+  /// and scripts ("sim.tiebreak", "net.drop", "net.jitter", "mc.fault").
+  /// Alternative 0 is always the *default* — what the uncontrolled run
+  /// would do — so a delay bound counts non-zero picks.
+  virtual std::size_t choose(const char* kind, std::size_t n) = 0;
+};
+
+}  // namespace vsgc::sim

@@ -11,6 +11,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/nondet.hpp"
 #include "sim/time.hpp"
 #include "util/logging.hpp"
 
@@ -68,6 +69,13 @@ class Simulator {
 
   Time now() const { return now_; }
   const Stats& stats() const { return stats_; }
+
+  /// Install (or with nullptr remove) a controllable-nondeterminism source.
+  /// While installed, every tie-break among live same-time events becomes a
+  /// choice point instead of firing in insertion order. The source must
+  /// outlive the simulator or be detached before it dies.
+  void set_nondet(NondetSource* source) { nondet_ = source; }
+  NondetSource* nondet() const { return nondet_; }
 
   /// Schedule `fn` to run at now() + delay (delay >= 0).
   TimerHandle schedule(Time delay, std::function<void()> fn) {
@@ -137,10 +145,41 @@ class Simulator {
     }
   };
 
-  /// Pop and execute one event; returns 1 if a live event ran, 0 otherwise.
-  std::size_t step() {
+  /// Pop the next event to run. Without a NondetSource this is the queue
+  /// head (time order, then insertion order). With one installed, all live
+  /// events tied at the head timestamp form a choice point: the source picks
+  /// which fires now and the rest are re-queued (keeping their original
+  /// insertion ranks, so alternative 0 reproduces the uncontrolled order).
+  Event pop_next() {
     Event ev = queue_.top();
     queue_.pop();
+    if (nondet_ == nullptr || !*ev.alive) return ev;
+    std::vector<Event> batch;
+    batch.push_back(std::move(ev));
+    while (!queue_.empty() && queue_.top().when == batch.front().when) {
+      Event peer = queue_.top();
+      queue_.pop();
+      if (!*peer.alive) {  // dead peers are discarded, never offered
+        ++stats_.events_cancelled;
+        continue;
+      }
+      batch.push_back(std::move(peer));
+    }
+    std::size_t pick = 0;
+    if (batch.size() > 1) {
+      pick = nondet_->choose("sim.tiebreak", batch.size());
+      if (pick >= batch.size()) pick = batch.size() - 1;
+    }
+    Event chosen = std::move(batch[pick]);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (i != pick) queue_.push(std::move(batch[i]));
+    }
+    return chosen;
+  }
+
+  /// Pop and execute one event; returns 1 if a live event ran, 0 otherwise.
+  std::size_t step() {
+    Event ev = pop_next();
     now_ = ev.when > now_ ? ev.when : now_;
     if (!*ev.alive) {
       ++stats_.events_cancelled;
@@ -158,6 +197,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   Stats stats_;
+  NondetSource* nondet_ = nullptr;
 };
 
 }  // namespace vsgc::sim

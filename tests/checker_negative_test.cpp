@@ -1,0 +1,224 @@
+// Negative self-tests for the full checker bundle: every checker wired to a
+// TraceBus through spec::AllCheckers must fire on a planted violation inside
+// an otherwise-legal event stream. spec_checker_test.cpp exercises checkers
+// in isolation; these tests prove the *deployed* wiring (the one Worlds,
+// the fuzzer, and the model checker rely on) catches each violation class —
+// a vacuous or mis-subscribed checker would pass every integration test
+// silently.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spec/all_checkers.hpp"
+#include "spec/co_rfifo_checker.hpp"
+#include "spec/liveness_checker.hpp"
+#include "util/assert.hpp"
+
+namespace vsgc::spec {
+namespace {
+
+const ProcessId kP1{1};
+const ProcessId kP2{2};
+
+View make_view(std::uint64_t epoch, std::set<ProcessId> members,
+               std::uint64_t cid = 1) {
+  View v;
+  v.id = ViewId{epoch, 0};
+  v.members = members;
+  for (ProcessId p : members) v.start_id[p] = StartChangeId{cid};
+  return v;
+}
+
+gcs::AppMsg msg(ProcessId sender, std::uint64_t uid) {
+  return gcs::AppMsg{sender, uid, "m" + std::to_string(uid)};
+}
+
+/// A bus with the full production bundle attached, as Worlds wire it.
+struct Bundle {
+  Bundle() {
+    bus.set_recording(true);
+    checkers.attach(bus);
+  }
+  void emit(EventBody body) { bus.emit(++t, std::move(body)); }
+
+  TraceBus bus;
+  AllCheckers checkers;
+  sim::Time t = 0;
+};
+
+/// Runs `fn`; returns the violation message (empty if nothing fired).
+std::string violation_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const InvariantViolation& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(CheckerBundle, MbrshpFiresOnViewWithoutStartChange) {
+  Bundle b;
+  b.emit(MbrStartChange{kP1, StartChangeId{1}, {kP1}});
+  b.emit(MbrView{kP1, make_view(1, {kP1})});  // legal
+  const std::string what = violation_of(
+      [&] { b.emit(MbrView{kP2, make_view(1, {kP2})}); });
+  EXPECT_NE(what.find("MBRSHP"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, WvRfifoFiresOnDuplicateDelivery) {
+  Bundle b;
+  const View v1 = make_view(1, {kP1, kP2});
+  b.emit(GcsView{kP1, v1, {kP1}});
+  b.emit(GcsView{kP2, v1, {kP2}});
+  b.emit(GcsSend{kP1, msg(kP1, 1)});
+  b.emit(GcsDeliver{kP2, kP1, msg(kP1, 1)});  // legal
+  const std::string what = violation_of(
+      [&] { b.emit(GcsDeliver{kP2, kP1, msg(kP1, 1)}); });  // planted dup
+  EXPECT_NE(what.find("WV_RFIFO"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, WvRfifoFiresOnFifoInversion) {
+  Bundle b;
+  const View v1 = make_view(1, {kP1, kP2});
+  b.emit(GcsView{kP1, v1, {kP1}});
+  b.emit(GcsView{kP2, v1, {kP2}});
+  b.emit(GcsSend{kP1, msg(kP1, 1)});
+  b.emit(GcsSend{kP1, msg(kP1, 2)});
+  const std::string what = violation_of(
+      [&] { b.emit(GcsDeliver{kP2, kP1, msg(kP1, 2)}); });  // skips uid 1
+  EXPECT_NE(what.find("WV_RFIFO"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, VsRfifoFiresOnCutMismatch) {
+  Bundle b;
+  const View v1 = make_view(1, {kP1, kP2});
+  const View v2 = make_view(2, {kP1, kP2}, 2);
+  b.emit(GcsView{kP1, v1, {kP1}});
+  b.emit(GcsView{kP2, v1, {kP2}});
+  b.emit(GcsSend{kP1, msg(kP1, 1)});
+  b.emit(GcsDeliver{kP1, kP1, msg(kP1, 1)});  // p1 self-delivers (SELF holds)
+  b.emit(GcsView{kP2, v2, {kP2}});  // first mover fixes the cut at 0 from p1
+  // p2 and p1 are both transitional over v1 -> v2 but delivered different
+  // message sets in v1: Virtual Synchrony is violated.
+  const std::string what =
+      violation_of([&] { b.emit(GcsView{kP1, v2, {kP1}}); });
+  EXPECT_NE(what.find("VS_RFIFO"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, TransSetFiresOnMemberOutsidePreviousView) {
+  Bundle b;
+  // p2 is in the new view but not in p1's previous view, so it cannot be in
+  // p1's transitional set.
+  const std::string what = violation_of(
+      [&] { b.emit(GcsView{kP1, make_view(1, {kP1, kP2}), {kP1, kP2}}); });
+  EXPECT_NE(what.find("TRANS_SET"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, TransSetFinalizeFiresOnInconsistentSets) {
+  Bundle b;
+  const View v1 = make_view(1, {kP1, kP2});
+  const View v2 = make_view(2, {kP1, kP2}, 2);
+  b.emit(GcsView{kP1, v1, {kP1}});
+  b.emit(GcsView{kP2, v1, {kP2}});
+  // Both move v1 -> v2, so Property 4.1 requires each to list the other as
+  // transitional; p1 omits p2.
+  b.emit(GcsView{kP1, v2, {kP1}});
+  b.emit(GcsView{kP2, v2, {kP1, kP2}});
+  const std::string what = violation_of([&] { b.checkers.finalize(); });
+  EXPECT_NE(what.find("TRANS_SET"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, SelfFiresOnViewBeforeOwnDelivery) {
+  Bundle b;
+  const View v1 = make_view(1, {kP1, kP2});
+  b.emit(GcsView{kP1, v1, {kP1}});
+  b.emit(GcsView{kP2, v1, {kP2}});
+  b.emit(GcsSend{kP1, msg(kP1, 1)});
+  // p1 moves on without delivering its own message: Self Delivery violated.
+  const std::string what = violation_of(
+      [&] { b.emit(GcsView{kP1, make_view(2, {kP1, kP2}, 2), {kP1}}); });
+  EXPECT_NE(what.find("SELF"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, ClientFiresOnBlockOkWithoutBlock) {
+  Bundle b;
+  const std::string what = violation_of([&] { b.emit(GcsBlockOk{kP1}); });
+  EXPECT_NE(what.find("CLIENT"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, ClientFiresOnSendWhileBlocked) {
+  Bundle b;
+  b.emit(GcsBlock{kP1});
+  b.emit(GcsBlockOk{kP1});  // legal: answers the outstanding block
+  const std::string what =
+      violation_of([&] { b.emit(GcsSend{kP1, msg(kP1, 1)}); });
+  EXPECT_NE(what.find("CLIENT"), std::string::npos) << what;
+}
+
+// CO_RFIFO sits below the GCS trace vocabulary and is fed directly.
+TEST(CheckerBundle, CoRfifoFiresOnDuplicateDelivery) {
+  CoRfifoChecker c;
+  const net::NodeId a{1};
+  const net::NodeId b{2};
+  c.note_reliable(a, {b});
+  c.note_send(a, {b}, 1);
+  c.note_deliver(a, b, 1);  // legal
+  const std::string what = violation_of([&] { c.note_deliver(a, b, 1); });
+  EXPECT_NE(what.find("CO_RFIFO"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, CoRfifoFiresOnGapBeforeReliableMessage) {
+  CoRfifoChecker c;
+  const net::NodeId a{1};
+  const net::NodeId b{2};
+  c.note_reliable(a, {b});
+  c.note_send(a, {b}, 1);
+  c.note_send(a, {b}, 2);
+  const std::string what = violation_of([&] { c.note_deliver(a, b, 2); });
+  EXPECT_NE(what.find("CO_RFIFO"), std::string::npos) << what;
+}
+
+// Liveness (Property 4.2) is a whole-trace post-analysis.
+TEST(CheckerBundle, LivenessFiresOnUndeliveredMessageInStableView) {
+  Bundle b;
+  const View v = make_view(1, {kP1, kP2});
+  b.emit(MbrStartChange{kP1, StartChangeId{1}, {kP1, kP2}});
+  b.emit(MbrStartChange{kP2, StartChangeId{1}, {kP1, kP2}});
+  b.emit(MbrView{kP1, v});
+  b.emit(MbrView{kP2, v});
+  b.emit(GcsView{kP1, v, {kP1}});
+  b.emit(GcsView{kP2, v, {kP2}});
+  b.emit(GcsSend{kP1, msg(kP1, 1)});
+  b.emit(GcsDeliver{kP1, kP1, msg(kP1, 1)});
+  // p2 never delivers uid 1 although membership stabilized on v.
+  const std::string what =
+      violation_of([&] { LivenessChecker::check(b.bus.recorded()); });
+  EXPECT_NE(what.find("Liveness"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, LivenessFiresOnMemberWithoutViewDelivery) {
+  Bundle b;
+  const View v = make_view(1, {kP1, kP2});
+  b.emit(MbrStartChange{kP1, StartChangeId{1}, {kP1, kP2}});
+  b.emit(MbrStartChange{kP2, StartChangeId{1}, {kP1, kP2}});
+  b.emit(MbrView{kP1, v});
+  b.emit(MbrView{kP2, v});
+  b.emit(GcsView{kP1, v, {kP1}});
+  // p2's GCS never delivers the stable view.
+  const std::string what =
+      violation_of([&] { LivenessChecker::check(b.bus.recorded()); });
+  EXPECT_NE(what.find("Liveness"), std::string::npos) << what;
+}
+
+TEST(CheckerBundle, LivenessPremiseFailureIsNotAViolation) {
+  Bundle b;
+  // No membership events at all: the stabilization premise does not hold,
+  // so check() reports "nothing to assert" instead of throwing.
+  b.emit(GcsSend{kP1, msg(kP1, 1)});
+  EXPECT_FALSE(LivenessChecker::check(b.bus.recorded()));
+}
+
+}  // namespace
+}  // namespace vsgc::spec

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "spec/co_rfifo_checker.hpp"
+#include "transport/co_rfifo.hpp"
 
 namespace vsgc::net {
 namespace {
@@ -165,6 +167,93 @@ TEST(Network, StatsAccounting) {
   EXPECT_EQ(h.network.stats().packets_delivered, 1u);
   EXPECT_EQ(h.network.stats().packets_dropped, 1u);
   EXPECT_EQ(h.network.stats().bytes_sent, 150u);
+}
+
+TEST(Network, OnewayLinkFailureIsAsymmetric) {
+  Harness h;
+  h.attach_collector(NodeId{1});
+  h.attach_collector(NodeId{2});
+  h.network.set_oneway_link_up(NodeId{1}, NodeId{2}, false);
+  // link_up() reports the symmetric layer only; can_send() folds in the
+  // directional state.
+  EXPECT_TRUE(h.network.link_up(NodeId{1}, NodeId{2}));
+  EXPECT_FALSE(h.network.can_send(NodeId{1}, NodeId{2}));
+  EXPECT_TRUE(h.network.can_send(NodeId{2}, NodeId{1}))
+      << "the reverse direction must stay up";
+  h.network.send(NodeId{1}, NodeId{2}, std::string("lost"), 1);
+  h.network.send(NodeId{2}, NodeId{1}, std::string("through"), 1);
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(h.received.size(), 1u);
+  EXPECT_EQ(h.received[0].payload, "through");
+  h.network.set_oneway_link_up(NodeId{1}, NodeId{2}, true);
+  h.network.send(NodeId{1}, NodeId{2}, std::string("again"), 1);
+  h.sim.run_to_quiescence();
+  EXPECT_EQ(h.received.size(), 2u);
+}
+
+// A CO_RFIFO stream driven across a one-way outage interleaved with drop
+// spikes and heal(): the transport must mask every loss pattern the network
+// can produce, and the spec checker asserts FIFO/no-gap/no-duplicate on each
+// delivery throughout.
+TEST(Network, OnewayOutageWithDropSpikesKeepsCoRfifoClean) {
+  struct Stream {
+    Stream() : network(sim, Rng(31), {}),
+               a(sim, network, NodeId{1}, {}),
+               b(sim, network, NodeId{2}, {}) {
+      a.set_reliable({NodeId{2}});
+      checker.note_reliable(NodeId{1}, {NodeId{1}, NodeId{2}});
+      b.set_deliver_handler([this](NodeId from, const std::any& payload) {
+        const auto uid = std::any_cast<std::uint64_t>(payload);
+        checker.note_deliver(from, NodeId{2}, uid);
+        received.push_back(uid);
+      });
+    }
+    void send(std::uint64_t uid) {
+      checker.note_send(NodeId{1}, {NodeId{2}}, uid);
+      a.send({NodeId{2}}, uid, 8);
+    }
+    sim::Simulator sim;
+    Network network;
+    transport::CoRfifoTransport a;
+    transport::CoRfifoTransport b;
+    spec::CoRfifoChecker checker;
+    std::vector<std::uint64_t> received;
+  };
+
+  Stream h;
+  for (std::uint64_t i = 1; i <= 3; ++i) h.send(i);
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(h.received.size(), 3u);
+
+  // Data direction goes down one-way; acks (2 -> 1) still flow. Traffic sent
+  // now is stranded and must be retransmitted later.
+  h.network.set_oneway_link_up(NodeId{1}, NodeId{2}, false);
+  for (std::uint64_t i = 4; i <= 6; ++i) h.send(i);
+  h.sim.run_until(h.sim.now() + 100 * sim::kMillisecond);
+  EXPECT_EQ(h.received.size(), 3u) << "nothing crosses the downed direction";
+
+  // Drop spike lands while the one-way outage holds, then the link comes
+  // back up with the spike still active: retransmission grinds through it.
+  h.network.set_drop_probability(0.4);
+  h.send(7);
+  h.sim.run_until(h.sim.now() + 50 * sim::kMillisecond);
+  h.network.set_oneway_link_up(NodeId{1}, NodeId{2}, true);
+  h.sim.run_until(h.sim.now() + 500 * sim::kMillisecond);
+
+  // Second spike cycle ending in a full heal() with the spike lifted.
+  h.network.set_oneway_link_up(NodeId{1}, NodeId{2}, false);
+  h.send(8);
+  h.sim.run_until(h.sim.now() + 50 * sim::kMillisecond);
+  h.network.heal();
+  h.network.set_drop_probability(0.0);
+  h.send(9);
+  h.sim.run_to_quiescence();
+
+  EXPECT_EQ(h.received,
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9}))
+      << "every message arrives exactly once, in order, despite the outages";
+  EXPECT_GE(h.a.stats().retransmissions, 3u)
+      << "the stranded messages had to be retransmitted";
 }
 
 TEST(Network, ServerAndClientAddressing) {

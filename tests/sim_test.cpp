@@ -61,6 +61,42 @@ TEST(Simulator, CancelAfterFireIsNoop) {
   EXPECT_EQ(fired, 1);
   EXPECT_FALSE(h.pending());
   h.cancel();  // must not crash
+  // A fired event is gone, not cancelled: re-running changes nothing and the
+  // cancel after the fact must not show up in the kernel stats.
+  sim.run_to_quiescence();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.stats().events_cancelled, 0u);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle h = sim.schedule(10, [&] { ++fired; });
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // idempotent: safe and no double accounting
+  EXPECT_FALSE(h.pending());
+  sim.run_to_quiescence();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.stats().events_cancelled, 1u);
+}
+
+TEST(Simulator, PendingSurvivesCapTrips) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 3; ++i) sim.schedule(i + 1, [&] { ++fired; });
+  TimerHandle h = sim.schedule(100, [&] { ++fired; });
+  // The cap cuts execution off before h's event: it must stay pending and
+  // still be cancellable across the trip.
+  const QuiescenceResult capped = sim.run_to_quiescence(/*max_events=*/3);
+  EXPECT_TRUE(capped.capped);
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(h.pending()) << "unexecuted events survive a cap trip";
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run_to_quiescence();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.stats().events_cancelled, 1u);
 }
 
 TEST(Simulator, NestedSchedulingFromHandlers) {
