@@ -8,12 +8,41 @@ cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== configure (Debug + ASan/UBSan) =="
+echo "== configure (Debug + ASan/UBSan + VSGC_WERROR=ON) =="
+# VSGC_WERROR=ON makes the build stage below a -Werror gate on the whole tree.
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
+  -DVSGC_WERROR=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 
-echo "== build =="
+echo "== static analysis =="
+# Runs BEFORE the full build so determinism/hygiene violations are reported
+# even when the tree itself would fail to compile. Only the linter and the
+# artifact validator are built here.
+cmake --build "$BUILD_DIR" -j "$JOBS" --target vsgc_lint_tool validate_bench_json
+ARTIFACT_DIR="$BUILD_DIR/artifacts"
+mkdir -p "$ARTIFACT_DIR"
+"$BUILD_DIR/tools/vsgc_lint" --root . --json "$ARTIFACT_DIR/LINT_vsgc.json"
+"$BUILD_DIR/tools/validate_bench_json" "$ARTIFACT_DIR/LINT_vsgc.json"
+
+echo "== static analysis self-check (planted violation) =="
+# A deliberately planted determinism violation must fail the lint gate —
+# mirrors the planted-bug self-checks of vsgc_stress and vsgc_mc.
+LINT_PLANT="$BUILD_DIR/lint-selfcheck"
+rm -rf "$LINT_PLANT"
+mkdir -p "$LINT_PLANT/src/sim"
+printf 'int planted() { return std::rand(); }\n' \
+  > "$LINT_PLANT/src/sim/planted.cpp"
+if "$BUILD_DIR/tools/vsgc_lint" --root "$LINT_PLANT" > /dev/null; then
+  echo "vsgc_lint failed to flag a planted std::rand violation" >&2
+  exit 1
+fi
+echo "planted violation caught by vsgc_lint"
+
+# clang-tidy half of the gate; skips with a notice when not installed.
+tools/run_clang_tidy.sh "$BUILD_DIR"
+
+echo "== build (with -Werror) =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "== test: unit =="

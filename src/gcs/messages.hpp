@@ -31,7 +31,7 @@ enum class Tag : std::uint8_t {
 /// tag=view_msg: announces that subsequent application messages from the
 /// sender belong to `view`.
 struct ViewMsg {
-  View view;
+  View view{};
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(Tag::kViewMsg));
@@ -48,7 +48,7 @@ struct ViewMsg {
 /// tag=app_msg: an original application message (sent in the sender's
 /// current view; the receiver associates it with the sender's latest ViewMsg).
 struct AppMsgWire {
-  AppMsg msg;
+  AppMsg msg{};
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(Tag::kAppMsg));
@@ -67,10 +67,10 @@ struct AppMsgWire {
 /// tag=fwd_msg: a message forwarded on behalf of `orig`, with the view it was
 /// originally sent in and its index in the per-sender FIFO stream.
 struct FwdMsg {
-  ProcessId orig;
-  View view;
+  ProcessId orig{};
+  View view{};
   std::int64_t index = 0;  ///< 1-based FIFO index in msgs[orig][view]
-  AppMsg msg;
+  AppMsg msg{};
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(Tag::kFwdMsg));
@@ -101,9 +101,9 @@ struct FwdMsg {
 /// last message from q the sender commits to deliver before any view v' with
 /// v'.startId(sender) == cid.
 struct SyncMsg {
-  StartChangeId cid;
-  View view;  ///< sender's current view when the sync message was sent
-  std::map<ProcessId, std::int64_t> cut;
+  StartChangeId cid{};
+  View view{};  ///< sender's current view when the sync message was sent
+  std::map<ProcessId, std::int64_t> cut{};
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(Tag::kSyncMsg));
@@ -142,7 +142,7 @@ struct SyncMsg {
 /// to their local members once), 1 = already forwarded.
 struct AggregateSyncMsg {
   std::uint8_t hops = 0;
-  std::vector<std::pair<ProcessId, SyncMsg>> entries;
+  std::vector<std::pair<ProcessId, SyncMsg>> entries{};
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(Tag::kAggregateSync));

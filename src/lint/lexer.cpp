@@ -1,0 +1,209 @@
+// Lightweight C++ tokenizer for vsgc-lint.
+//
+// Handles the constructs that matter for accurate scanning: line and block
+// comments (where suppression pragmas live), ordinary and raw string
+// literals, character literals, preprocessor directives (kept as one token
+// each for the include-guard rule), identifiers, numbers, and punctuation.
+// It deliberately does NOT build an AST: every rule below is expressible
+// over the token stream plus brace/template balancing.
+#include "lint/token.hpp"
+
+#include <cctype>
+
+namespace vsgc::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse the body of a `// ...` comment for a vsgc-lint pragma.
+/// Grammar: the tool-name marker plus colon, then "allow" "(" rule ")"
+/// justification.
+void parse_pragma(const std::string& comment, int line,
+                  std::vector<AllowPragma>& out) {
+  const std::string marker = "vsgc-lint:";
+  const std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return;
+
+  AllowPragma pragma;
+  pragma.line = line;
+  std::size_t i = at + marker.size();
+  auto skip_ws = [&] {
+    while (i < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[i]))) {
+      ++i;
+    }
+  };
+  skip_ws();
+  const std::string kw = "allow";
+  if (comment.compare(i, kw.size(), kw) != 0) {
+    pragma.parse_error = "expected 'allow(<rule>) <justification>'";
+    out.push_back(pragma);
+    return;
+  }
+  i += kw.size();
+  skip_ws();
+  if (i >= comment.size() || comment[i] != '(') {
+    pragma.parse_error = "expected '(' after 'allow'";
+    out.push_back(pragma);
+    return;
+  }
+  ++i;
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string::npos) {
+    pragma.parse_error = "unterminated allow(...)";
+    out.push_back(pragma);
+    return;
+  }
+  std::size_t rule_begin = i;
+  std::size_t rule_end = close;
+  while (rule_begin < rule_end &&
+         std::isspace(static_cast<unsigned char>(comment[rule_begin]))) {
+    ++rule_begin;
+  }
+  while (rule_end > rule_begin &&
+         std::isspace(static_cast<unsigned char>(comment[rule_end - 1]))) {
+    --rule_end;
+  }
+  pragma.rule = comment.substr(rule_begin, rule_end - rule_begin);
+  i = close + 1;
+  skip_ws();
+  std::string just = comment.substr(i);
+  while (!just.empty() &&
+         std::isspace(static_cast<unsigned char>(just.back()))) {
+    just.pop_back();
+  }
+  pragma.justification = just;
+  pragma.parse_ok = true;
+  out.push_back(pragma);
+}
+
+}  // namespace
+
+LexResult lex(const std::string& text) {
+  LexResult result;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = text.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (text[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Line comment (possible pragma).
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      parse_pragma(text.substr(i + 2, end - i - 2), line, result.pragmas);
+      advance(end - i);
+      continue;
+    }
+
+    // Block comment. Pragmas are line-comment-only by design: a suppression
+    // should be visually attached to the line it excuses.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t end = text.find("*/", i + 2);
+      end = (end == std::string::npos) ? n : end + 2;
+      advance(end - i);
+      continue;
+    }
+
+    // Preprocessor directive: one token per directive, continuation lines
+    // folded in.
+    if (c == '#') {
+      std::size_t end = i;
+      while (end < n) {
+        std::size_t eol = text.find('\n', end);
+        if (eol == std::string::npos) {
+          end = n;
+          break;
+        }
+        // Backslash-continued directive line?
+        std::size_t last = eol;
+        while (last > end && (text[last - 1] == '\r')) --last;
+        if (last > end && text[last - 1] == '\\') {
+          end = eol + 1;
+          continue;
+        }
+        end = eol;
+        break;
+      }
+      std::string directive = text.substr(i, end - i);
+      result.tokens.push_back({TokKind::kPreprocessor, directive, line});
+      advance(end - i);
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && text[p] != '(') delim += text[p++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = text.find(closer, p);
+      end = (end == std::string::npos) ? n : end + closer.size();
+      result.tokens.push_back(
+          {TokKind::kString, text.substr(i, end - i), line});
+      advance(end - i);
+      continue;
+    }
+
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < n && text[p] != quote) {
+        if (text[p] == '\\' && p + 1 < n) ++p;
+        ++p;
+      }
+      const std::size_t end = (p < n) ? p + 1 : n;
+      result.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar,
+           text.substr(i + 1, end - i - (p < n ? 2 : 1)), line});
+      advance(end - i);
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      std::size_t p = i;
+      while (p < n && is_ident_char(text[p])) ++p;
+      result.tokens.push_back(
+          {TokKind::kIdentifier, text.substr(i, p - i), line});
+      advance(p - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t p = i;
+      while (p < n && (is_ident_char(text[p]) || text[p] == '.' ||
+                       ((text[p] == '+' || text[p] == '-') && p > i &&
+                        (text[p - 1] == 'e' || text[p - 1] == 'E')))) {
+        ++p;
+      }
+      result.tokens.push_back({TokKind::kNumber, text.substr(i, p - i), line});
+      advance(p - i);
+      continue;
+    }
+
+    result.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return result;
+}
+
+}  // namespace vsgc::lint

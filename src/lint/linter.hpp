@@ -1,0 +1,66 @@
+// vsgc-lint driver: per-file token rules + cross-file protocol checks.
+//
+// Usage (mirrors tools/vsgc_lint.cpp):
+//   Linter linter;
+//   linter.lint_source("src/sim/foo.cpp", text);   // once per file
+//   linter.finalize();                             // cross-file rules
+//   for (const Finding& f : linter.findings()) ...
+//
+// Paths are repo-root-relative with forward slashes; rule scoping (which
+// directories the determinism rules apply to) keys off them, so tests can
+// plant fixtures at any virtual path without touching the filesystem.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "lint/token.hpp"
+#include "obs/json.hpp"
+
+namespace vsgc::lint {
+
+class Linter {
+ public:
+  /// Lint one file's text as if it lived at `rel_path`. Per-file findings
+  /// (including suppressed ones) accumulate; call finalize() once at the end.
+  void lint_source(const std::string& rel_path, const std::string& text);
+
+  /// Run cross-file rules (event-coverage) and flag unused pragmas.
+  /// Must be called exactly once, after the last lint_source().
+  void finalize();
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  int unsuppressed_count() const;
+  int suppressed_count() const;
+  int files_scanned() const { return files_scanned_; }
+
+  /// Machine-readable artifact (schema checked by tools/validate_bench_json).
+  obs::JsonValue to_json(const std::string& root) const;
+
+ private:
+  struct FileRecord {
+    std::vector<AllowPragma> pragmas;
+    std::string text;  ///< retained only for src/spec files (event-coverage)
+  };
+
+  void apply_suppressions(const std::string& rel_path,
+                          std::vector<Finding>& file_findings,
+                          std::vector<AllowPragma>& pragmas);
+  void check_event_coverage();
+
+  std::vector<Finding> findings_;
+  std::map<std::string, FileRecord> files_;
+  int files_scanned_ = 0;
+  bool finalized_ = false;
+  bool event_coverage_ran_ = false;
+};
+
+/// Walk `root`'s {src,tools,bench,tests} directories (missing ones are
+/// skipped), lint every .hpp/.cpp in sorted path order, and finalize.
+/// Returns the number of files scanned; I/O errors are reported as findings
+/// so the exit code stays the single source of truth.
+int lint_tree(Linter& linter, const std::string& root);
+
+}  // namespace vsgc::lint

@@ -1,0 +1,50 @@
+// Token model for the vsgc-lint C++ scanner.
+//
+// The linter tokenizes rather than regex-matching raw lines so that banned
+// identifiers inside comments and string literals never fire, qualified names
+// (`std :: rand`) survive arbitrary whitespace, and brace/paren/template
+// nesting can be tracked when a rule needs structure (range-for bodies,
+// struct member lists, template argument lists).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vsgc::lint {
+
+enum class TokKind {
+  kIdentifier,    ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,        ///< numeric literal (no interpretation)
+  kString,        ///< string literal, text excludes quotes
+  kChar,          ///< character literal
+  kPunct,         ///< single punctuation character
+  kPreprocessor,  ///< whole directive line(s), text starts with '#'
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+/// An `allow(<rule>) <justification>` suppression comment (a line comment
+/// whose body starts with the `vsgc-lint` marker followed by a colon).
+struct AllowPragma {
+  int line = 0;            ///< line the comment sits on
+  std::string rule;        ///< rule id inside allow(...)
+  std::string justification;
+  bool parse_ok = false;   ///< false => malformed pragma (bad-pragma finding)
+  std::string parse_error;
+  mutable bool used = false;  ///< set when the pragma suppresses a finding
+};
+
+struct LexResult {
+  std::vector<Token> tokens;       ///< comments stripped
+  std::vector<AllowPragma> pragmas;
+};
+
+/// Tokenize one C++ source file. Never fails: unterminated constructs are
+/// closed at end-of-file (a linter must degrade gracefully, not abort).
+LexResult lex(const std::string& text);
+
+}  // namespace vsgc::lint

@@ -23,8 +23,8 @@ enum class Tag : std::uint8_t {
 
 /// Server -> client: the membership service is attempting to form a new view.
 struct StartChange {
-  StartChangeId cid;
-  std::set<ProcessId> set;
+  StartChangeId cid{};
+  std::set<ProcessId> set{};
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(Tag::kStartChange));
@@ -50,7 +50,7 @@ struct StartChange {
 
 /// Server -> client: the agreed-upon new view.
 struct ViewDelivery {
-  View view;
+  View view{};
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(Tag::kViewDelivery));
@@ -76,11 +76,11 @@ struct ViewDelivery {
 /// IDENTICAL view (id = (r, min participant), members/startId from the
 /// proposals). This is what makes concurrently formed views collision-free.
 struct Proposal {
-  ServerId from;
+  ServerId from{};
   std::uint64_t round = 0;  ///< agreement round == epoch of the formed view
-  std::set<ProcessId> local_alive;
-  std::map<ProcessId, StartChangeId> cids;  ///< latest start_change ids issued
-  std::set<ServerId> participants;          ///< servers the proposer deems alive
+  std::set<ProcessId> local_alive{};
+  std::map<ProcessId, StartChangeId> cids{};  ///< latest start_change ids issued
+  std::set<ServerId> participants{};        ///< servers the proposer deems alive
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(Tag::kProposal));
@@ -155,7 +155,7 @@ struct Heartbeat {
 /// Client -> server (raw): graceful departure; the server excludes the
 /// client immediately instead of waiting out the failure-detector timeout.
 struct Leave {
-  ProcessId who;
+  ProcessId who{};
 
   static constexpr std::size_t kWireSize = 5;
 

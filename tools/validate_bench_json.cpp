@@ -1,8 +1,10 @@
-// Schema checker for BENCH_*.json run artifacts (used by ci.sh).
+// Schema checker for machine-readable CI artifacts (used by ci.sh).
 //
 // Usage: validate_bench_json FILE [FILE...]
-// Exits 0 iff every file parses as JSON and matches the artifact schema
-// documented in src/obs/artifact.hpp; prints one line per file.
+// Exits 0 iff every file parses as JSON and matches its schema: BENCH_*.json
+// run artifacts (schema documented in src/obs/artifact.hpp) by default, or
+// the vsgc_lint findings artifact when the document carries
+// "tool": "vsgc_lint". Prints one line per file.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -27,10 +29,72 @@ struct Check {
   }
 };
 
+/// Schema of tools/vsgc_lint --json output (lint::Linter::to_json).
+Check validate_lint(const JsonValue& root) {
+  Check c;
+  const JsonValue* version = root.find("schema_version");
+  c.require(version != nullptr && version->is_int() && version->as_int() == 1,
+            "missing field 'schema_version' == 1");
+  const JsonValue* lint_root = root.find("root");
+  c.require(lint_root != nullptr && lint_root->is_string(),
+            "missing string field 'root'");
+  for (const char* field : {"files_scanned", "unsuppressed", "suppressed"}) {
+    const JsonValue* v = root.find(field);
+    c.require(v != nullptr && v->is_int() && v->as_int() >= 0,
+              std::string("missing non-negative integer '") + field + "'");
+  }
+  const JsonValue* findings = root.find("findings");
+  c.require(findings != nullptr && findings->is_array(),
+            "missing array field 'findings'");
+  if (findings == nullptr || !findings->is_array()) return c;
+  std::int64_t suppressed = 0;
+  for (std::size_t i = 0; i < findings->size(); ++i) {
+    const JsonValue& row = findings->at(i);
+    const std::string at = "findings[" + std::to_string(i) + "]";
+    c.require(row.is_object(), at + " is not an object");
+    if (!row.is_object()) continue;
+    for (const char* field : {"file", "rule", "message"}) {
+      const JsonValue* v = row.find(field);
+      c.require(v != nullptr && v->is_string() && !v->as_string().empty(),
+                at + " missing non-empty string '" + field + "'");
+    }
+    const JsonValue* line = row.find("line");
+    c.require(line != nullptr && line->is_int() && line->as_int() >= 1,
+              at + " missing 1-based integer 'line'");
+    const JsonValue* sup = row.find("suppressed");
+    c.require(sup != nullptr && sup->is_bool(),
+              at + " missing boolean 'suppressed'");
+    if (sup != nullptr && sup->is_bool() && sup->as_bool()) {
+      ++suppressed;
+      const JsonValue* just = row.find("justification");
+      c.require(just != nullptr && just->is_string() &&
+                    !just->as_string().empty(),
+                at + " suppressed without a non-empty 'justification'");
+    }
+  }
+  const JsonValue* sup_total = root.find("suppressed");
+  const JsonValue* unsup_total = root.find("unsuppressed");
+  if (sup_total != nullptr && sup_total->is_int() && unsup_total != nullptr &&
+      unsup_total->is_int()) {
+    c.require(sup_total->as_int() == suppressed,
+              "'suppressed' disagrees with the findings array");
+    c.require(unsup_total->as_int() + suppressed ==
+                  static_cast<std::int64_t>(findings->size()),
+              "'unsuppressed' + 'suppressed' != findings count");
+  }
+  return c;
+}
+
 Check validate(const JsonValue& root) {
   Check c;
   c.require(root.is_object(), "document is not a JSON object");
   if (!root.is_object()) return c;
+
+  const JsonValue* tool = root.find("tool");
+  if (tool != nullptr && tool->is_string() &&
+      tool->as_string() == "vsgc_lint") {
+    return validate_lint(root);
+  }
 
   const JsonValue* bench = root.find("bench");
   c.require(bench != nullptr && bench->is_string() &&
@@ -122,8 +186,15 @@ int main(int argc, char** argv) {
     }
     const Check c = validate(root);
     if (c.ok) {
-      std::cout << argv[i] << ": OK ("
-                << root.find("results")->size() << " results)\n";
+      const JsonValue* results = root.find("results");
+      const JsonValue* findings = root.find("findings");
+      std::cout << argv[i] << ": OK (";
+      if (results != nullptr) {
+        std::cout << results->size() << " results)\n";
+      } else {
+        std::cout << (findings != nullptr ? findings->size() : 0)
+                  << " lint findings)\n";
+      }
     } else {
       all_ok = false;
       std::cerr << argv[i] << ": INVALID\n";

@@ -1,0 +1,94 @@
+// vsgc_lint — determinism & protocol-hygiene static analysis for this repo.
+//
+// Usage:
+//   vsgc_lint [--root DIR] [--json FILE] [--list-rules] [FILE...]
+//
+// With no FILE arguments, walks DIR/{src,tools,bench,tests} (default: the
+// current directory) and lints every .hpp/.cpp in sorted order. Explicit FILE
+// arguments are linted as paths relative to --root, so rule scoping (which
+// directories the determinism rules cover) still applies.
+//
+// Exit status: 0 = no unsuppressed findings, 1 = findings, 2 = usage error.
+// ci.sh runs this before the build as a hard gate; --json writes the
+// machine-readable artifact that tools/validate_bench_json schema-checks.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: vsgc_lint [--root DIR] [--json FILE] [--list-rules] "
+               "[FILE...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_out;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const vsgc::lint::RuleInfo& r : vsgc::lint::kRules) {
+        std::cout << r.id << "\n    " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  vsgc::lint::Linter linter;
+  if (files.empty()) {
+    vsgc::lint::lint_tree(linter, root);
+  } else {
+    for (const std::string& rel : files) {
+      std::ifstream in(std::filesystem::path(root) / rel, std::ios::binary);
+      if (!in) {
+        std::cerr << "vsgc_lint: cannot read " << rel << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      linter.lint_source(rel, buf.str());
+    }
+    linter.finalize();
+  }
+
+  for (const vsgc::lint::Finding& f : linter.findings()) {
+    if (f.suppressed) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule
+                << "] suppressed — " << f.justification << "\n";
+    } else {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+  }
+  std::cout << "vsgc_lint: " << linter.files_scanned() << " files, "
+            << linter.unsuppressed_count() << " finding(s), "
+            << linter.suppressed_count() << " suppressed\n";
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "vsgc_lint: cannot write " << json_out << "\n";
+      return 2;
+    }
+    out << linter.to_json(root).dump_pretty() << "\n";
+  }
+  return linter.unsuppressed_count() == 0 ? 0 : 1;
+}
