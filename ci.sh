@@ -25,6 +25,11 @@ mkdir -p "$ARTIFACT_DIR"
 "$BUILD_DIR/tools/vsgc_lint" --root . --json "$ARTIFACT_DIR/LINT_vsgc.json"
 "$BUILD_DIR/tools/validate_bench_json" "$ARTIFACT_DIR/LINT_vsgc.json"
 
+echo "== static analysis: batch engine hygiene =="
+# The thread-pool is the one threaded component in src/; it must pass the
+# determinism lint on its own (no wall-clock reads, no ambient randomness).
+"$BUILD_DIR/tools/vsgc_lint" --root src/sim
+
 echo "== static analysis self-check (planted violation) =="
 # A deliberately planted determinism violation must fail the lint gate —
 # mirrors the planted-bug self-checks of vsgc_stress and vsgc_mc.
@@ -90,6 +95,23 @@ rm -rf "$PLANT_OUT"
   > /dev/null
 echo "planted bug caught, minimized, and replayed"
 
+echo "== parallel sweep: jobs-independence (stress) =="
+# The work-stealing seed sweep must be an invisible optimization: stdout (the
+# deterministic per-seed verdict stream + summary) must be byte-identical
+# between --jobs 1 and a parallel run. Throughput lines go to stderr and are
+# deliberately excluded from the contract.
+SWEEP_J1="$BUILD_DIR/sweep-jobs1"
+SWEEP_JN="$BUILD_DIR/sweep-jobsN"
+rm -rf "$SWEEP_J1" "$SWEEP_JN"
+VSGC_BENCH_OUT="$SWEEP_J1" "$BUILD_DIR/tools/vsgc_stress" --seeds 0:11 \
+  --clients 4 --servers 2 --steps 12 --jobs 1 --out "$SWEEP_J1" \
+  2>/dev/null > "$BUILD_DIR/sweep-jobs1.txt"
+VSGC_BENCH_OUT="$SWEEP_JN" "$BUILD_DIR/tools/vsgc_stress" --seeds 0:11 \
+  --clients 4 --servers 2 --steps 12 --jobs 4 --out "$SWEEP_JN" \
+  2>/dev/null > "$BUILD_DIR/sweep-jobsN.txt"
+cmp "$BUILD_DIR/sweep-jobs1.txt" "$BUILD_DIR/sweep-jobsN.txt"
+echo "vsgc_stress stdout byte-identical at --jobs 1 and --jobs 4"
+
 echo "== model checker: exhaustive exploration + artifact =="
 # Bounded exploration of the 3-process view-change scenario must exhaust the
 # frontier within the deviation bound and emit a schema-valid BENCH_mc.json.
@@ -111,5 +133,63 @@ VSGC_BENCH_OUT="$MC_PLANT" "$BUILD_DIR/tools/vsgc_mc" --inject-bug \
 "$BUILD_DIR/tools/vsgc_mc" --replay "$MC_PLANT/seed1" --expect-violation \
   > /dev/null
 echo "planted schedule bug found, minimized, and replayed byte-identically"
+
+echo "== parallel exploration: jobs-independence (mc) =="
+# Same contract for the model checker: parallel chunked exploration must
+# report the identical run/dedup/depth breakdown and verdict as --jobs 1.
+# The artifact path line is the only stdout that names the output dir.
+MC_J1="$BUILD_DIR/mc-jobs1"
+MC_JN="$BUILD_DIR/mc-jobsN"
+rm -rf "$MC_J1" "$MC_JN"
+mkdir -p "$MC_J1" "$MC_JN"
+VSGC_BENCH_OUT="$MC_J1" "$BUILD_DIR/tools/vsgc_mc" --clients 3 --servers 1 \
+  --max-deviations 1 --jobs 1 --out "$MC_J1" 2>/dev/null \
+  | grep -Ev '^(artifact:|\[artifact\])' > "$BUILD_DIR/mc-jobs1.txt"
+VSGC_BENCH_OUT="$MC_JN" "$BUILD_DIR/tools/vsgc_mc" --clients 3 --servers 1 \
+  --max-deviations 1 --jobs 4 --out "$MC_JN" 2>/dev/null \
+  | grep -Ev '^(artifact:|\[artifact\])' > "$BUILD_DIR/mc-jobsN.txt"
+cmp "$BUILD_DIR/mc-jobs1.txt" "$BUILD_DIR/mc-jobsN.txt"
+echo "vsgc_mc stdout byte-identical at --jobs 1 and --jobs 4"
+
+echo "== perf bench (Release, wall-clock gates) =="
+# Optimized builds only: the kernel fast-path and parallel sweep are gated on
+# measured wall-clock speedups, and the emitted BENCH_simperf.json must pass
+# the extended simperf schema. The kernel gate (>= 3x vs the embedded legacy
+# priority-queue kernel) holds on any machine; the sweep gate needs real
+# parallel hardware, so it scales with core count and is skipped below 4
+# cores (a 1-core runner can only ever see ~1x).
+BUILD_DIR_REL="${BUILD_DIR_REL:-build-ci-rel}"
+cmake -B "$BUILD_DIR_REL" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD_DIR_REL" -j "$JOBS" \
+  --target bench_simperf validate_bench_json
+PERF_OUT="$BUILD_DIR_REL/artifacts"
+mkdir -p "$PERF_OUT"
+SIMPERF_ARGS=(--check-kernel-speedup 3.0)
+if [ "$JOBS" -ge 4 ]; then
+  SWEEP_GATE=$((JOBS / 2))
+  if [ "$SWEEP_GATE" -gt 4 ]; then SWEEP_GATE=4; fi
+  SIMPERF_ARGS+=(--check-sweep-speedup "$SWEEP_GATE")
+else
+  echo "(sweep speedup gate skipped: only $JOBS hardware thread(s))"
+fi
+VSGC_BENCH_OUT="$PERF_OUT" "$BUILD_DIR_REL/bench/bench_simperf" \
+  "${SIMPERF_ARGS[@]}"
+"$BUILD_DIR_REL/tools/validate_bench_json" "$PERF_OUT/BENCH_simperf.json"
+
+echo "== thread sanitizer (batch engine) =="
+# TSan and ASan cannot share a build; a dedicated tree covers the only
+# threaded component (sim::BatchRunner) plus a parallel stress sweep that
+# drives it end to end.
+BUILD_DIR_TSAN="${BUILD_DIR_TSAN:-build-ci-tsan}"
+cmake -B "$BUILD_DIR_TSAN" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" > /dev/null
+cmake --build "$BUILD_DIR_TSAN" -j "$JOBS" --target batch_test vsgc_stress
+"$BUILD_DIR_TSAN/tests/batch_test" > /dev/null
+TSAN_OUT="$BUILD_DIR_TSAN/stress-out"
+rm -rf "$TSAN_OUT"
+mkdir -p "$TSAN_OUT"
+VSGC_BENCH_OUT="$TSAN_OUT" "$BUILD_DIR_TSAN/tools/vsgc_stress" --seeds 0:3 \
+  --clients 3 --servers 1 --steps 8 --jobs 4 --out "$TSAN_OUT" > /dev/null
+echo "TSan clean on batch_test and a parallel stress sweep"
 
 echo "CI OK"

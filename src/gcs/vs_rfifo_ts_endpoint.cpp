@@ -82,13 +82,13 @@ void VsRfifoTsEndpoint::handle_start_change(StartChangeId cid,
   }
   if (!for_locals.entries.empty() && !locals.empty()) {
     transport_.send(nodes_of(locals, /*exclude_self=*/true),
-                    std::any(for_locals), for_locals.wire_size());
+                    net::Payload(for_locals), for_locals.wire_size());
     vs_stats_.sync_bytes_sent += for_locals.wire_size();
     ++vs_stats_.aggregates_relayed;
   }
   if (!for_peers.entries.empty() && !peers.empty()) {
     transport_.send(nodes_of(peers, /*exclude_self=*/true),
-                    std::any(for_peers), for_peers.wire_size());
+                    net::Payload(for_peers), for_peers.wire_size());
     vs_stats_.sync_bytes_sent += for_peers.wire_size();
     ++vs_stats_.aggregates_relayed;
   }
@@ -146,7 +146,7 @@ bool VsRfifoTsEndpoint::try_send_sync_msg() {
                         change_set.contains(my_leader);
   if (two_tier && my_leader != self_) {
     // Up-send to our designated leader only; it relays for us.
-    transport_.send({net::node_of(my_leader)}, std::any(full),
+    transport_.send({net::node_of(my_leader)}, net::Payload(full),
                     full.wire_size());
     ++vs_stats_.sync_msgs_sent;
     vs_stats_.sync_bytes_sent += full.wire_size();
@@ -155,7 +155,7 @@ bool VsRfifoTsEndpoint::try_send_sync_msg() {
     wire::AggregateSyncMsg agg{0, {{self_, full}}};
     const std::set<ProcessId> dests = relay_dests(change_set);
     if (!dests.empty()) {
-      transport_.send(nodes_of(dests, /*exclude_self=*/true), std::any(agg),
+      transport_.send(nodes_of(dests, /*exclude_self=*/true), net::Payload(agg),
                       agg.wire_size());
       vs_stats_.sync_msgs_sent += dests.size();
       vs_stats_.sync_bytes_sent += agg.wire_size();
@@ -172,16 +172,16 @@ bool VsRfifoTsEndpoint::try_send_sync_msg() {
     if (routing_.compact_sync_to_strangers && !strangers.empty()) {
       const wire::SyncMsg compact{cid, data.view, {}};
       transport_.send(nodes_of(members, /*exclude_self=*/true),
-                      std::any(full), full.wire_size());
+                      net::Payload(full), full.wire_size());
       transport_.send(nodes_of(strangers, /*exclude_self=*/true),
-                      std::any(compact), compact.wire_size());
+                      net::Payload(compact), compact.wire_size());
       vs_stats_.sync_bytes_sent +=
           full.wire_size() * members.size() +
           compact.wire_size() * strangers.size();
     } else {
       std::set<ProcessId> all = members;
       all.insert(strangers.begin(), strangers.end());
-      transport_.send(nodes_of(all, /*exclude_self=*/true), std::any(full),
+      transport_.send(nodes_of(all, /*exclude_self=*/true), net::Payload(full),
                       full.wire_size());
       vs_stats_.sync_bytes_sent += full.wire_size() * all.size();
     }
@@ -212,7 +212,7 @@ void VsRfifoTsEndpoint::relay_as_leader(ProcessId origin,
   dests.erase(origin);
   if (dests.empty()) return;
   wire::AggregateSyncMsg agg{0, {{origin, sync}}};
-  transport_.send(nodes_of(dests, /*exclude_self=*/true), std::any(agg),
+  transport_.send(nodes_of(dests, /*exclude_self=*/true), net::Payload(agg),
                   agg.wire_size());
   vs_stats_.sync_bytes_sent += agg.wire_size();
   ++vs_stats_.aggregates_relayed;
@@ -245,7 +245,7 @@ bool VsRfifoTsEndpoint::handle_child_message(ProcessId from,
       if (!locals.empty()) {
         wire::AggregateSyncMsg fwd{1, agg->entries};
         transport_.send(nodes_of(locals, /*exclude_self=*/true),
-                        std::any(fwd), fwd.wire_size());
+                        net::Payload(fwd), fwd.wire_size());
         vs_stats_.sync_bytes_sent += fwd.wire_size();
         ++vs_stats_.aggregates_relayed;
       }
@@ -347,7 +347,7 @@ bool VsRfifoTsEndpoint::try_forward() {
     }
     if (fresh.empty()) continue;
     wire::FwdMsg fm{action.orig, action.view, action.index, *m};
-    transport_.send(nodes_of(fresh, /*exclude_self=*/true), std::any(fm),
+    transport_.send(nodes_of(fresh, /*exclude_self=*/true), net::Payload(fm),
                     fm.wire_size());
     vs_stats_.forwards_sent += fresh.size();
     progress = true;

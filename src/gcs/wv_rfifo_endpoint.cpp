@@ -170,7 +170,7 @@ bool WvRfifoEndpoint::try_send_view_msg() {
   }
   wire::ViewMsg vm{current_view_};
   transport_.send(nodes_of(current_view_.members, /*exclude_self=*/true),
-                  std::any(vm), vm.wire_size());
+                  net::Payload(vm), vm.wire_size());
   view_msg_[self_] = current_view_;
   ++stats_.view_msgs_sent;
   return true;
@@ -184,7 +184,7 @@ bool WvRfifoEndpoint::try_send_app_msgs() {
   while (const AppMsg* m = own.get(last_sent_ + 1)) {
     wire::AppMsgWire am{*m};
     transport_.send(nodes_of(current_view_.members, /*exclude_self=*/true),
-                    std::any(am), am.wire_size());
+                    net::Payload(am), am.wire_size());
     ++last_sent_;
     progress = true;
   }

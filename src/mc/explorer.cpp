@@ -1,5 +1,6 @@
 #include "mc/explorer.hpp"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -7,12 +8,21 @@
 #include "app/world.hpp"
 #include "obs/json.hpp"
 #include "obs/trace_recorder.hpp"
+#include "sim/batch.hpp"
 #include "spec/liveness_checker.hpp"
 #include "util/assert.hpp"
 
 namespace vsgc::mc {
 
 namespace {
+
+/// Batch size for parallel scenario execution: enough slack over the worker
+/// count that stealing can balance uneven run lengths, small enough that a
+/// violation or budget stop wastes little speculative work. Chunks are always
+/// additionally clamped to the remaining run budget and frontier.
+std::size_t chunk_size(const sim::BatchRunner& runner) {
+  return std::max<std::size_t>(runner.jobs() * 4, 1);
+}
 
 /// FNV-1a over a choice sequence: two runs with equal signatures consumed
 /// identical choices and are therefore the same execution.
@@ -254,55 +264,72 @@ std::optional<RunResult> Explorer::explore() {
   std::vector<std::vector<std::uint32_t>> level;
   level.push_back({});  // the default schedule
 
+  const sim::BatchRunner runner(xc_.jobs);
   for (int depth = 0; depth <= xc_.max_deviations && !level.empty(); ++depth) {
     ExploreStats::Level lvl;
     lvl.depth = depth;
     std::vector<std::vector<std::uint32_t>> next;
-    for (const std::vector<std::uint32_t>& prefix : level) {
+    // Execute the frontier in order-preserving chunks: each chunk runs in
+    // parallel, then merges sequentially in frontier order. A violation or
+    // budget stop discards the chunk's tail, so stats and the returned run
+    // are exactly what a sequential (--jobs 1) exploration produces.
+    std::size_t pos = 0;
+    while (pos < level.size()) {
       if (stats_.runs >= xc_.max_runs) {
         stats_.budget_exhausted = true;
         stats_.levels.push_back(lvl);
         return std::nullopt;
       }
-      RunResult run = run_scenario(sc_, prefix);
-      ++stats_.runs;
-      ++lvl.runs;
-      stats_.choice_points += run.script.choices.size();
-      tally(run);
-      if (!seen_signatures.insert(signature(run.script.choices)).second) {
-        ++stats_.deduped;
-        ++lvl.deduped;
-        continue;  // identical execution already explored: no new children
-      }
-      if (seen_traces.insert(trace_hash(run.trace)).second) {
-        ++stats_.unique_traces;
-      }
-      if (run.violation) {
-        ++stats_.violations;
-        stats_.levels.push_back(lvl);
-        return run;
-      }
-      if (depth == xc_.max_deviations) continue;  // no children past the bound
-      const std::size_t horizon =
-          std::min(run.script.choices.size(), xc_.horizon);
-      for (std::size_t i = prefix.size(); i < horizon; ++i) {
-        const Choice& c = run.script.choices[i];
-        for (std::uint32_t pick = 1; pick < c.n; ++pick) {
-          std::vector<std::uint32_t> child;
-          child.reserve(i + 1);
-          for (std::size_t k = 0; k < i; ++k) {
-            child.push_back(run.script.choices[k].pick);
-          }
-          child.push_back(pick);
-          if (seen_prefixes.insert(child).second) {
-            next.push_back(std::move(child));
-            ++lvl.enqueued;
-          } else {
-            ++stats_.deduped;
-            ++lvl.deduped;
+      const std::size_t chunk = std::min(
+          {level.size() - pos,
+           static_cast<std::size_t>(xc_.max_runs - stats_.runs),
+           chunk_size(runner)});
+      std::vector<RunResult> batch = runner.map<RunResult>(
+          chunk,
+          [&](std::size_t i) { return run_scenario(sc_, level[pos + i]); });
+      for (std::size_t b = 0; b < chunk; ++b) {
+        const std::vector<std::uint32_t>& prefix = level[pos + b];
+        RunResult& run = batch[b];
+        ++stats_.runs;
+        ++lvl.runs;
+        stats_.choice_points += run.script.choices.size();
+        tally(run);
+        if (!seen_signatures.insert(signature(run.script.choices)).second) {
+          ++stats_.deduped;
+          ++lvl.deduped;
+          continue;  // identical execution already explored: no new children
+        }
+        if (seen_traces.insert(trace_hash(run.trace)).second) {
+          ++stats_.unique_traces;
+        }
+        if (run.violation) {
+          ++stats_.violations;
+          stats_.levels.push_back(lvl);
+          return std::move(run);
+        }
+        if (depth == xc_.max_deviations) continue;  // no children past bound
+        const std::size_t horizon =
+            std::min(run.script.choices.size(), xc_.horizon);
+        for (std::size_t i = prefix.size(); i < horizon; ++i) {
+          const Choice& c = run.script.choices[i];
+          for (std::uint32_t pick = 1; pick < c.n; ++pick) {
+            std::vector<std::uint32_t> child;
+            child.reserve(i + 1);
+            for (std::size_t k = 0; k < i; ++k) {
+              child.push_back(run.script.choices[k].pick);
+            }
+            child.push_back(pick);
+            if (seen_prefixes.insert(child).second) {
+              next.push_back(std::move(child));
+              ++lvl.enqueued;
+            } else {
+              ++stats_.deduped;
+              ++lvl.deduped;
+            }
           }
         }
       }
+      pos += chunk;
     }
     stats_.depth_completed = depth;
     stats_.levels.push_back(lvl);
@@ -317,27 +344,41 @@ std::optional<RunResult> Explorer::random_walk(std::uint64_t seed_lo,
   stats_ = ExploreStats{};
   std::set<std::uint64_t> seen_signatures;
   std::set<std::uint64_t> seen_traces;
-  for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+  const sim::BatchRunner runner(xc_.jobs);
+  // Same chunked discipline as explore(): parallel execution in seed order,
+  // sequential merge, chunk tail discarded on violation/budget stop.
+  std::uint64_t seed = seed_lo;
+  while (seed <= seed_hi) {
     if (stats_.runs >= xc_.max_runs) {
       stats_.budget_exhausted = true;
       return std::nullopt;
     }
-    RandomController ctl(seed);
-    RunResult run = run_scenario(sc_, ctl);
-    ++stats_.runs;
-    stats_.choice_points += run.script.choices.size();
-    tally(run);
-    if (!seen_signatures.insert(signature(run.script.choices)).second) {
-      ++stats_.deduped;
-      continue;
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min({seed_hi - seed + 1, xc_.max_runs - stats_.runs,
+                  static_cast<std::uint64_t>(chunk_size(runner))}));
+    std::vector<RunResult> batch =
+        runner.map<RunResult>(chunk, [&](std::size_t i) {
+          RandomController ctl(seed + i);
+          return run_scenario(sc_, ctl);
+        });
+    for (std::size_t b = 0; b < chunk; ++b) {
+      RunResult& run = batch[b];
+      ++stats_.runs;
+      stats_.choice_points += run.script.choices.size();
+      tally(run);
+      if (!seen_signatures.insert(signature(run.script.choices)).second) {
+        ++stats_.deduped;
+        continue;
+      }
+      if (seen_traces.insert(trace_hash(run.trace)).second) {
+        ++stats_.unique_traces;
+      }
+      if (run.violation) {
+        ++stats_.violations;
+        return std::move(run);
+      }
     }
-    if (seen_traces.insert(trace_hash(run.trace)).second) {
-      ++stats_.unique_traces;
-    }
-    if (run.violation) {
-      ++stats_.violations;
-      return run;
-    }
+    seed += chunk;
   }
   return std::nullopt;
 }

@@ -70,6 +70,12 @@ struct ExploreConfig {
   int max_deviations = 2;        ///< delay bound (iterative deepening 0..d)
   std::uint64_t max_runs = 2000; ///< hard budget on executions
   std::size_t horizon = 160;     ///< only the first N choice points branch
+  std::size_t jobs = 1;          ///< parallel executions (0 = hw threads).
+                                 ///< Stats/results are byte-identical for
+                                 ///< every value: runs execute in frontier-
+                                 ///< order chunks and merge sequentially,
+                                 ///< discarding whatever a sequential run
+                                 ///< would never have executed.
 };
 
 struct ExploreStats {

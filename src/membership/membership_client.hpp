@@ -59,7 +59,7 @@ class MembershipClient {
   void leave() {
     if (!running_) return;
     wire::Leave notice{self_};
-    transport_.send_raw(net::node_of(server_), std::any(notice),
+    transport_.send_raw(net::node_of(server_), net::Payload(notice),
                         wire::Leave::kWireSize);
     running_ = false;
     heartbeat_timer_.cancel();
@@ -85,7 +85,7 @@ class MembershipClient {
   void heartbeat_tick() {
     if (!running_) return;
     wire::Heartbeat hb{/*from_server=*/false, self_.value, incarnation_};
-    transport_.send_raw(net::node_of(server_), std::any(hb),
+    transport_.send_raw(net::node_of(server_), net::Payload(hb),
                         wire::Heartbeat::kWireSize);
     heartbeat_timer_ = sim_.schedule(config_.heartbeat_interval,
                                      [this]() { heartbeat_tick(); });

@@ -50,7 +50,7 @@ void MembershipServer::heartbeat_tick() {
   wire::Heartbeat hb{/*from_server=*/true, self_.value};
   for (ServerId s : all_servers_) {
     if (s != self_) {
-      transport_->send_raw(net::node_of(s), std::any(hb),
+      transport_->send_raw(net::node_of(s), net::Payload(hb),
                            wire::Heartbeat::kWireSize);
     }
   }
@@ -126,7 +126,7 @@ void MembershipServer::reconfigure(std::uint64_t min_round) {
     rec.change_started = true;
     wire::StartChange sc{rec.last_cid, est};
     ++stats_.start_changes_sent;
-    transport_->send({net::node_of(p)}, std::any(sc), sc.wire_size());
+    transport_->send({net::node_of(p)}, net::Payload(sc), sc.wire_size());
   }
 
   // Proposal to all other participant servers.
@@ -136,7 +136,7 @@ void MembershipServer::reconfigure(std::uint64_t min_round) {
   }
   if (!peers.empty()) {
     ++stats_.proposals_sent;
-    transport_->send(peers, std::any(prop), prop.wire_size());
+    transport_->send(peers, net::Payload(prop), prop.wire_size());
   }
 }
 
@@ -258,7 +258,7 @@ void MembershipServer::deliver_view(const View& v) {
     rec.last_view_id = v.id;
     rec.change_started = false;
     wire::ViewDelivery vd{v};
-    transport_->send({net::node_of(p)}, std::any(vd), vd.wire_size());
+    transport_->send({net::node_of(p)}, net::Payload(vd), vd.wire_size());
   }
   VSGC_TRACE("mbrshp", to_string(self_) << " formed " << to_string(v));
 }

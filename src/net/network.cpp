@@ -16,7 +16,7 @@ bool Network::link_up(NodeId a, NodeId b) const {
   return true;
 }
 
-void Network::send(NodeId from, NodeId to, std::any payload,
+void Network::send(NodeId from, NodeId to, Payload payload,
                    std::size_t wire_size) {
   ++stats_.packets_sent;
   stats_.bytes_sent += wire_size;
@@ -55,6 +55,9 @@ void Network::send(NodeId from, NodeId to, std::any payload,
     last = arrival;
   }
 
+  // The delivery closure carries the refcounted handle, not the payload
+  // bytes: it fits the kernel's inline event storage, so an in-flight packet
+  // costs no allocation beyond the one made when the payload was wrapped.
   sim_.schedule_at(arrival, [this, from, to, payload = std::move(payload)]() {
     // Re-check destination health at arrival time: a node that crashed while
     // the packet was in flight never sees it.
@@ -68,7 +71,7 @@ void Network::send(NodeId from, NodeId to, std::any payload,
       return;
     }
     ++stats_.packets_delivered;
-    it->second(from, payload);
+    it->second(from, payload.any());
   });
 }
 

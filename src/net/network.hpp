@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -22,6 +24,39 @@
 #include "util/rng.hpp"
 
 namespace vsgc::net {
+
+/// Refcounted immutable payload handle. A payload is wrapped into one
+/// heap-allocated std::any when it enters the network layer and is shared by
+/// reference count from there on: enqueueing a delivery, buffering a packet
+/// for retransmission, or fanning a multicast out to N destinations copies a
+/// pointer, never the payload bytes. Handlers still receive `const
+/// std::any&`, so receive paths are unchanged.
+class Payload {
+ public:
+  Payload() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): std::any call sites convert.
+  Payload(std::any value)
+      : ptr_(std::make_shared<const std::any>(std::move(value))) {}
+
+  /// Wrap any payload type directly (one allocation, no intermediate any).
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<T>, Payload> &&
+                !std::is_same_v<std::decay_t<T>, std::any>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::any's ctor.
+  Payload(T&& value)
+      : ptr_(std::make_shared<const std::any>(
+            std::in_place_type<std::decay_t<T>>, std::forward<T>(value))) {}
+
+  const std::any& any() const {
+    static const std::any kEmpty;
+    return ptr_ != nullptr ? *ptr_ : kEmpty;
+  }
+  bool has_value() const { return ptr_ != nullptr && ptr_->has_value(); }
+
+ private:
+  std::shared_ptr<const std::any> ptr_;
+};
 
 class Network {
  public:
@@ -46,10 +81,18 @@ class Network {
   Network(sim::Simulator& sim, Rng rng) : Network(sim, rng, Config()) {}
 
   void attach(NodeId node, Handler handler) { handlers_[node] = std::move(handler); }
-  void detach(NodeId node) { handlers_.erase(node); }
+
+  /// Remove the handler AND every per-link bookkeeping entry that names the
+  /// node, so attach/detach churn cannot grow last_arrival_ without bound.
+  void detach(NodeId node) {
+    handlers_.erase(node);
+    std::erase_if(last_arrival_, [node](const auto& kv) {
+      return kv.first.first == node || kv.first.second == node;
+    });
+  }
 
   /// Best-effort point-to-point send. `wire_size` feeds byte accounting.
-  void send(NodeId from, NodeId to, std::any payload, std::size_t wire_size = 0);
+  void send(NodeId from, NodeId to, Payload payload, std::size_t wire_size = 0);
 
   // --- Fault injection -----------------------------------------------------
 
@@ -101,6 +144,8 @@ class Network {
 
   const Stats& stats() const { return stats_; }
   const Config& config() const { return config_; }
+  /// FIFO-link bookkeeping entries currently held (bounded-growth tests).
+  std::size_t tracked_links() const { return last_arrival_.size(); }
   void set_drop_probability(double p) { config_.drop_probability = p; }
   /// Runtime latency control (delay bursts in fault schedules).
   void set_latency(sim::Time base, sim::Time jitter) {

@@ -1,0 +1,127 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace vsgc::sim {
+
+std::size_t BatchRunner::hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+BatchRunner::BatchRunner(std::size_t jobs)
+    : jobs_(jobs == 0 ? hardware_jobs() : jobs) {}
+
+namespace {
+
+/// One per worker: the worker pops its own deque from the front (LIFO-ish
+/// locality on its contiguous chunk), thieves pop from the back, so owner and
+/// thief contend on opposite ends and a steal grabs the work farthest from
+/// the owner's current position.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<std::size_t> items;
+
+  bool pop_front(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (items.empty()) return false;
+    out = items.front();
+    items.pop_front();
+    return true;
+  }
+
+  bool pop_back(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (items.empty()) return false;
+    out = items.back();
+    items.pop_back();
+    return true;
+  }
+};
+
+/// First-error-by-task-index capture: whichever worker hits an exception
+/// records it, but a later record for a smaller index wins, so the exception
+/// that escapes for_each is the one the sequential run would have thrown.
+struct ErrorSlot {
+  std::mutex mu;
+  std::size_t index = SIZE_MAX;
+  std::exception_ptr error;
+  std::atomic<bool> raised{false};
+
+  void record(std::size_t i, std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (i < index) {
+      index = i;
+      error = std::move(e);
+    }
+    raised.store(true, std::memory_order_release);
+  }
+};
+
+}  // namespace
+
+void BatchRunner::for_each(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const std::size_t workers = std::min(jobs_, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Contiguous chunk per worker: worker w initially owns the index range
+  // [w*count/workers, (w+1)*count/workers).
+  std::deque<WorkerQueue> queues(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = w * count / workers;
+    const std::size_t hi = (w + 1) * count / workers;
+    for (std::size_t i = lo; i < hi; ++i) queues[w].items.push_back(i);
+  }
+
+  ErrorSlot err;
+
+  auto worker_loop = [&](std::size_t w) {
+    auto run_one = [&](std::size_t idx) {
+      try {
+        fn(idx);
+      } catch (...) {
+        err.record(idx, std::current_exception());
+      }
+    };
+    while (!err.raised.load(std::memory_order_acquire)) {
+      std::size_t idx = 0;
+      if (queues[w].pop_front(idx)) {
+        run_one(idx);
+        continue;
+      }
+      // Own chunk dry: steal a tail task from the first non-empty victim.
+      bool stole = false;
+      for (std::size_t off = 1; off < workers && !stole; ++off) {
+        if (queues[(w + off) % workers].pop_back(idx)) {
+          run_one(idx);
+          stole = true;
+        }
+      }
+      // No work anywhere — and none will appear (tasks never enqueue more).
+      if (!stole) return;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);
+  for (std::thread& t : threads) t.join();
+
+  if (err.error != nullptr) std::rethrow_exception(err.error);
+}
+
+}  // namespace vsgc::sim

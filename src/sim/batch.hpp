@@ -1,0 +1,67 @@
+// Parallel batch-execution engine for seed sweeps and schedule exploration.
+//
+// The simulation kernel is strictly single-threaded; parallelism in this repo
+// exists only ACROSS worlds, never within one. BatchRunner runs N independent
+// tasks (one fully isolated World/Simulator/Rng/TraceBus per task) on a
+// work-stealing worker pool and leaves result merging to the caller, who
+// iterates results in task-index order. Because task index — not thread
+// schedule — keys every result, tool output is byte-identical for any --jobs
+// value and any interleaving of workers.
+//
+// Determinism contract:
+//   * Tasks share no mutable state. Anything a task touches (Simulator,
+//     Network, Rng, TraceBus, checkers) must be constructed inside the task.
+//     Process-global seams are thread-safe by construction: the Logger
+//     sim-clock hook is thread-local, and everything else in src/ is
+//     per-instance.
+//   * Results live in a caller-indexed slot per task; no ordering between
+//     sibling tasks is observable.
+//   * If tasks throw, the exception thrown by the LOWEST task index is
+//     rethrown after the pool drains — again independent of scheduling.
+//     Remaining unstarted tasks may be skipped once a task has thrown.
+//
+// This file is threading code inside src/sim and still obeys the determinism
+// lint: no wall-clock reads, no ambient randomness. Timing belongs to
+// tools/ and bench/.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vsgc::sim {
+
+class BatchRunner {
+ public:
+  /// `jobs == 0` means "one worker per hardware thread". `jobs == 1` runs
+  /// every task inline on the calling thread (no pool, no synchronization) —
+  /// the reference sequential mode that parallel runs must match.
+  explicit BatchRunner(std::size_t jobs);
+
+  /// Hardware concurrency with a floor of 1 (the standard allows 0).
+  static std::size_t hardware_jobs();
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Run `fn(0) .. fn(count-1)`, each exactly once, spread over the worker
+  /// pool. Returns when all tasks have finished. Each worker owns a
+  /// contiguous chunk of the index range and steals from the tail of other
+  /// workers' chunks when its own runs dry.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& fn) const;
+
+  /// for_each that collects one result per task, returned in task-index
+  /// order regardless of which worker produced which result.
+  template <typename R>
+  std::vector<R> map(std::size_t count,
+                     const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> out(count);
+    for_each(count, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace vsgc::sim

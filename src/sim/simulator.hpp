@@ -3,12 +3,29 @@
 // Every process, server, network link, and failure schedule in this
 // repository runs on top of this kernel. Events at equal timestamps fire in
 // insertion order, so an execution is a pure function of (code, seed).
+//
+// Performance architecture (DESIGN.md §9): the kernel is allocation-free on
+// the steady-state scheduling path. Events live in a slab arena of fixed
+// 256-slot chunks threaded onto a free list; each slot embeds the callback
+// in 64 bytes of inline storage (closures that do not fit fall back to one
+// heap cell). The ready queue realizes (time, insertion-seq) order — the
+// exact ordering the previous std::priority_queue implementation had — as
+// FIFO runs per distinct timestamp (seq is assigned monotonically, so
+// append order IS insertion order) threaded through the event slots, with
+// an index-based 4-ary min-heap over just the distinct timestamps. Pushing
+// into a live timestamp and popping within a run are O(1); the heap is only
+// touched when a timestamp first appears or finally drains. Cancellation is
+// by generation-counted TimerHandle: a handle names (slot, generation) and
+// goes stale the moment the event fires, is cancelled, or the slot is
+// reused — no reference counting anywhere on the hot path.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/nondet.hpp"
@@ -19,26 +36,27 @@ namespace vsgc::sim {
 
 class Simulator;
 
-/// Cancellation handle for a scheduled event.
+/// Cancellation handle for a scheduled event. A handle is a (slot,
+/// generation) name into the simulator's event arena: copying it is free and
+/// a stale handle (fired, cancelled, or slot since reused) is always safe —
+/// cancel() is a no-op and pending() is false. Handles must not be used
+/// after the Simulator that issued them is destroyed.
 class TimerHandle {
  public:
   TimerHandle() = default;
 
   /// Cancel the event if it has not fired yet. Safe to call repeatedly.
-  void cancel() {
-    if (auto alive = alive_.lock()) *alive = false;
-  }
-
-  bool pending() const {
-    auto alive = alive_.lock();
-    return alive && *alive;
-  }
+  inline void cancel();
+  inline bool pending() const;
 
  private:
   friend class Simulator;
-  explicit TimerHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  TimerHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
 
-  std::weak_ptr<bool> alive_;
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// Outcome of run_to_quiescence: how many events ran and whether the run
@@ -67,6 +85,15 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  ~Simulator() {
+    // Pending callbacks own resources (captured payload handles etc.);
+    // destroy them. Cancelled slots already ran their destructor.
+    for (std::uint32_t i = 0; i < slots_used_; ++i) {
+      Slot& s = slot_at(i);
+      if (s.state == SlotState::kPending) s.destroy(s.storage());
+    }
+  }
+
   Time now() const { return now_; }
   const Stats& stats() const { return stats_; }
 
@@ -78,25 +105,29 @@ class Simulator {
   NondetSource* nondet() const { return nondet_; }
 
   /// Schedule `fn` to run at now() + delay (delay >= 0).
-  TimerHandle schedule(Time delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename Fn>
+  TimerHandle schedule(Time delay, Fn&& fn) {
+    return schedule_at(now_ + delay, std::forward<Fn>(fn));
   }
 
-  TimerHandle schedule_at(Time when, std::function<void()> fn) {
-    auto alive = std::make_shared<bool>(true);
-    queue_.push(Event{when, next_seq_++, alive, std::move(fn)});
+  template <typename Fn>
+  TimerHandle schedule_at(Time when, Fn&& fn) {
+    std::uint32_t slot;
+    Slot& s = alloc_slot(slot);
+    s.emplace(std::forward<Fn>(fn));
+    queue_push(when, slot);
     ++stats_.events_scheduled;
-    if (queue_.size() > stats_.peak_queue_depth) {
-      stats_.peak_queue_depth = queue_.size();
+    if (queue_size_ > stats_.peak_queue_depth) {
+      stats_.peak_queue_depth = queue_size_;
     }
-    return TimerHandle(alive);
+    return TimerHandle(this, slot, s.gen);
   }
 
   /// Run events until the queue drains or `deadline` passes.
   /// Returns the number of events executed.
   std::size_t run_until(Time deadline) {
     std::size_t executed = 0;
-    while (!queue_.empty() && queue_.top().when <= deadline) {
+    while (!heap_.empty() && heap_[0].when <= deadline) {
       executed += step();
     }
     if (now_ < deadline) now_ = deadline;
@@ -109,9 +140,9 @@ class Simulator {
   /// clean drain.
   QuiescenceResult run_to_quiescence(std::size_t max_events = 50'000'000) {
     QuiescenceResult result;
-    while (!queue_.empty()) {
-      if (!*queue_.top().alive) {  // cancelled events are free to discard
-        step();
+    while (!heap_.empty()) {
+      if (slot_at(front_slot()).state != SlotState::kPending) {
+        step();  // cancelled events are free to discard
         continue;
       }
       // Exact cap: execute at most max_events live events, checked before
@@ -121,7 +152,7 @@ class Simulator {
         result.capped = true;
         VSGC_WARN("sim", "run_to_quiescence hit the " << max_events
                          << "-event runaway cap at t=" << now_ << "us with "
-                         << queue_.size() << " events still pending");
+                         << queue_size_ << " events still pending");
         return result;
       }
       result.executed += step();
@@ -129,75 +160,361 @@ class Simulator {
     return result;
   }
 
-  bool quiescent() const { return queue_.empty(); }
-  std::size_t pending_events() const { return queue_.size(); }
+  bool quiescent() const { return heap_.empty(); }
+  std::size_t pending_events() const { return queue_size_; }
 
  private:
-  struct Event {
-    Time when;
-    std::uint64_t seq;
-    std::shared_ptr<bool> alive;
-    std::function<void()> fn;
+  friend class TimerHandle;
 
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
+  // --- Event arena -------------------------------------------------------
+  //
+  // Fixed-size slots in 256-slot chunks (slot addresses are stable across
+  // growth, so a handler may schedule freely while its own slot is live).
+  // Free slots are threaded onto a LIFO free list through `next_free`.
+
+  enum class SlotState : std::uint8_t {
+    kFree,       ///< on the free list
+    kPending,    ///< scheduled, callback constructed in storage
+    kCancelled,  ///< cancelled, callback destroyed; awaiting heap pop
+    kExecuting,  ///< callback currently running (slot not reusable yet)
+  };
+
+  static constexpr std::size_t kInlineBytes = 64;
+  static constexpr std::uint32_t kChunkSlots = 256;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct Slot {
+    // Metadata first so the state/gen check, the invoke/destroy pointers and
+    // the head of the callback share a cache line.
+    void (*invoke)(void*) = nullptr;
+    void (*destroy)(void*) = nullptr;
+    std::uint32_t gen = 0;  ///< bumped on every allocation
+    /// Intrusive link: free-list successor while kFree, same-timestamp FIFO
+    /// successor while queued (kPending / kCancelled).
+    std::uint32_t next = kNoSlot;
+    SlotState state = SlotState::kFree;
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+
+    void* storage() { return static_cast<void*>(buf); }
+
+    template <typename Fn>
+    void emplace(Fn&& fn) {
+      using T = std::decay_t<Fn>;
+      if constexpr (sizeof(T) <= kInlineBytes &&
+                    alignof(T) <= alignof(std::max_align_t)) {
+        ::new (storage()) T(std::forward<Fn>(fn));
+        invoke = [](void* p) { (*static_cast<T*>(p))(); };
+        destroy = [](void* p) { static_cast<T*>(p)->~T(); };
+      } else {
+        // Oversized closure: one heap cell, pointer parked in the slot.
+        *static_cast<T**>(storage()) = new T(std::forward<Fn>(fn));
+        invoke = [](void* p) { (**static_cast<T**>(p))(); };
+        destroy = [](void* p) { delete *static_cast<T**>(p); };
+      }
     }
   };
+
+  struct Chunk {
+    Slot slots[kChunkSlots];
+  };
+
+  Slot& slot_at(std::uint32_t index) {
+    return chunks_[index / kChunkSlots]->slots[index % kChunkSlots];
+  }
+  const Slot& slot_at(std::uint32_t index) const {
+    return chunks_[index / kChunkSlots]->slots[index % kChunkSlots];
+  }
+
+  Slot& alloc_slot(std::uint32_t& index) {
+    if (free_head_ != kNoSlot) {
+      index = free_head_;
+      Slot& s = slot_at(index);
+      free_head_ = s.next;
+      ++s.gen;
+      s.state = SlotState::kPending;
+      return s;
+    }
+    index = slots_used_++;
+    if (index / kChunkSlots >= chunks_.size()) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    Slot& s = slot_at(index);
+    ++s.gen;
+    s.state = SlotState::kPending;
+    return s;
+  }
+
+  void free_slot(Slot& s, std::uint32_t index) {
+    s.state = SlotState::kFree;
+    s.next = free_head_;
+    free_head_ = index;
+  }
+
+  void cancel_slot(std::uint32_t index, std::uint32_t gen) {
+    if (index >= slots_used_) return;
+    Slot& s = slot_at(index);
+    if (s.gen != gen || s.state != SlotState::kPending) return;
+    s.state = SlotState::kCancelled;
+    s.destroy(s.storage());  // release captured resources promptly
+  }
+
+  bool slot_pending(std::uint32_t index, std::uint32_t gen) const {
+    if (index >= slots_used_) return false;
+    const Slot& s = slot_at(index);
+    return s.gen == gen && s.state == SlotState::kPending;
+  }
+
+  // --- Ready queue: per-timestamp FIFO runs + 4-ary min-heap of times ----
+  //
+  // Same-time events form a FIFO run threaded through their slots' `next`
+  // links (seq is assigned monotonically, so append order is exactly
+  // insertion-seq order). A Bucket names one run; the 4-ary min-heap orders
+  // the distinct timestamps, one 16-byte entry each, so there are never ties
+  // inside the heap. An open-addressed map (when -> bucket) makes pushing
+  // into a live timestamp O(1); heap sifts happen only when a timestamp
+  // first appears or finally drains.
+
+  struct Bucket {
+    Time when = 0;
+    std::uint32_t head = kNoSlot;
+    std::uint32_t tail = kNoSlot;
+    std::uint32_t next_free = kNoSlot;  ///< bucket-pool free list
+  };
+
+  struct HeapEntry {
+    Time when;
+    std::uint32_t bucket;
+  };
+
+  struct PoppedEvent {
+    Time when;
+    std::uint32_t slot;
+  };
+
+  static std::size_t hash_time(Time when) {
+    // splitmix64 finalizer: cheap and uniform over sparse timestamps.
+    auto x = static_cast<std::uint64_t>(when) + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+
+  void map_grow() {
+    const std::size_t cap = map_.empty() ? 64 : map_.size() * 2;
+    map_.assign(cap, 0);
+    mask_ = cap - 1;
+    for (const HeapEntry& e : heap_) {
+      std::size_t idx = hash_time(e.when) & mask_;
+      while (map_[idx] != 0) idx = (idx + 1) & mask_;
+      map_[idx] = e.bucket + 1;
+    }
+  }
+
+  void map_erase(Time when) {
+    std::size_t idx = hash_time(when) & mask_;
+    while (buckets_[map_[idx] - 1].when != when) idx = (idx + 1) & mask_;
+    // Backward-shift deletion keeps probe chains intact without tombstones.
+    std::size_t hole = idx;
+    std::size_t i = idx;
+    for (;;) {
+      i = (i + 1) & mask_;
+      if (map_[i] == 0) break;
+      const std::size_t home = hash_time(buckets_[map_[i] - 1].when) & mask_;
+      if (((i - home) & mask_) >= ((i - hole) & mask_)) {
+        map_[hole] = map_[i];
+        hole = i;
+      }
+    }
+    map_[hole] = 0;
+  }
+
+  /// Find the bucket for `when`, creating it (and its heap entry) if absent.
+  std::uint32_t bucket_for(Time when) {
+    if ((heap_.size() + 1) * 2 > map_.size()) map_grow();
+    std::size_t idx = hash_time(when) & mask_;
+    while (map_[idx] != 0) {
+      const std::uint32_t b = map_[idx] - 1;
+      if (buckets_[b].when == when) return b;
+      idx = (idx + 1) & mask_;
+    }
+    std::uint32_t b;
+    if (bucket_free_ != kNoSlot) {
+      b = bucket_free_;
+      bucket_free_ = buckets_[b].next_free;
+    } else {
+      b = static_cast<std::uint32_t>(buckets_.size());
+      buckets_.emplace_back();
+    }
+    Bucket& bk = buckets_[b];
+    bk.when = when;
+    bk.head = bk.tail = kNoSlot;
+    map_[idx] = b + 1;
+    heap_push(HeapEntry{when, b});
+    return b;
+  }
+
+  void queue_push(Time when, std::uint32_t slot) {
+    Slot& s = slot_at(slot);
+    s.next = kNoSlot;
+    Bucket& bk = buckets_[bucket_for(when)];
+    if (bk.tail == kNoSlot) {
+      bk.head = bk.tail = slot;
+    } else {
+      slot_at(bk.tail).next = slot;
+      bk.tail = slot;
+    }
+    ++queue_size_;
+  }
+
+  PoppedEvent queue_pop() {
+    const HeapEntry top = heap_[0];
+    Bucket& bk = buckets_[top.bucket];
+    const std::uint32_t slot = bk.head;
+    const std::uint32_t next = slot_at(slot).next;
+    bk.head = next;
+    if (next == kNoSlot) {
+      // Run drained: retire the bucket and its heap entry.
+      map_erase(top.when);
+      bk.next_free = bucket_free_;
+      bucket_free_ = top.bucket;
+      heap_pop();
+    }
+    --queue_size_;
+    return PoppedEvent{top.when, slot};
+  }
+
+  /// Slot index of the event at the queue head. Precondition: non-empty.
+  std::uint32_t front_slot() const { return buckets_[heap_[0].bucket].head; }
+
+  // Both directions sift a hole instead of swapping: the moving entry stays
+  // in registers and each level costs one store, not three. Timestamps in
+  // the heap are distinct, so `<` on `when` is a strict total order.
+  void heap_push(HeapEntry e) {
+    heap_.push_back(e);  // grow; the slot is overwritten by the sift below
+    HeapEntry* h = heap_.data();
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (e.when >= h[parent].when) break;
+      h[i] = h[parent];
+      i = parent;
+    }
+    h[i] = e;
+  }
+
+  void heap_pop() {
+    HeapEntry* h = heap_.data();
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n != 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = i * 4 + 1;
+        if (first >= n) break;
+        const std::size_t end = first + 4 < n ? first + 4 : n;
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (h[c].when < h[best].when) best = c;
+        }
+        if (h[best].when >= last.when) break;
+        h[i] = h[best];
+        i = best;
+      }
+      h[i] = last;
+    }
+  }
+
+  // --- Execution ---------------------------------------------------------
 
   /// Pop the next event to run. Without a NondetSource this is the queue
   /// head (time order, then insertion order). With one installed, all live
   /// events tied at the head timestamp form a choice point: the source picks
   /// which fires now and the rest are re-queued (keeping their original
   /// insertion ranks, so alternative 0 reproduces the uncontrolled order).
-  Event pop_next() {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (nondet_ == nullptr || !*ev.alive) return ev;
-    std::vector<Event> batch;
-    batch.push_back(std::move(ev));
-    while (!queue_.empty() && queue_.top().when == batch.front().when) {
-      Event peer = queue_.top();
-      queue_.pop();
-      if (!*peer.alive) {  // dead peers are discarded, never offered
-        ++stats_.events_cancelled;
+  PoppedEvent pop_next() {
+    PoppedEvent ev = queue_pop();
+    if (nondet_ == nullptr ||
+        slot_at(ev.slot).state != SlotState::kPending) {
+      return ev;
+    }
+    batch_.clear();
+    batch_.push_back(ev.slot);
+    while (!heap_.empty() && heap_[0].when == ev.when) {
+      const PoppedEvent peer = queue_pop();
+      Slot& ps = slot_at(peer.slot);
+      if (ps.state != SlotState::kPending) {
+        ++stats_.events_cancelled;  // dead peers are discarded, never offered
+        free_slot(ps, peer.slot);
         continue;
       }
-      batch.push_back(std::move(peer));
+      batch_.push_back(peer.slot);
     }
     std::size_t pick = 0;
-    if (batch.size() > 1) {
-      pick = nondet_->choose("sim.tiebreak", batch.size());
-      if (pick >= batch.size()) pick = batch.size() - 1;
+    if (batch_.size() > 1) {
+      pick = nondet_->choose("sim.tiebreak", batch_.size());
+      if (pick >= batch_.size()) pick = batch_.size() - 1;
     }
-    Event chosen = std::move(batch[pick]);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (i != pick) queue_.push(std::move(batch[i]));
+    const std::uint32_t chosen = batch_[pick];
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      // Re-queue in batch order: relative seq order among survivors is
+      // preserved, so alternative 0 reproduces the uncontrolled schedule.
+      if (i != pick) queue_push(ev.when, batch_[i]);
     }
-    return chosen;
+    return PoppedEvent{ev.when, chosen};
   }
 
   /// Pop and execute one event; returns 1 if a live event ran, 0 otherwise.
   std::size_t step() {
-    Event ev = pop_next();
+    const PoppedEvent ev = pop_next();
     now_ = ev.when > now_ ? ev.when : now_;
-    if (!*ev.alive) {
+    Slot& s = slot_at(ev.slot);
+    if (s.state != SlotState::kPending) {
       ++stats_.events_cancelled;
+      free_slot(s, ev.slot);
       return 0;
     }
     // Mark consumed before running: a handler that re-arms its own timer must
-    // observe the old handle as no longer pending.
-    *ev.alive = false;
-    ev.fn();
+    // observe the old handle as no longer pending. The slot stays off the
+    // free list while executing so nested schedules cannot reuse its storage.
+    s.state = SlotState::kExecuting;
+    struct Reclaim {
+      Simulator* sim;
+      Slot* s;  // slot addresses are stable across nested schedules
+      std::uint32_t slot;
+      // Destroy + free even when the callback throws (checker violations
+      // propagate through run_until), so no captured resource leaks.
+      ~Reclaim() {
+        s->destroy(s->storage());
+        sim->free_slot(*s, slot);
+      }
+    } reclaim{this, &s, ev.slot};
+    s.invoke(s.storage());
     ++stats_.events_executed;
     return 1;
   }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::uint32_t slots_used_ = 0;
+  std::uint32_t free_head_ = kNoSlot;
+  std::vector<Bucket> buckets_;        ///< bucket pool (index-stable)
+  std::uint32_t bucket_free_ = kNoSlot;
+  std::vector<std::uint32_t> map_;     ///< open-addressed when -> bucket + 1
+  std::size_t mask_ = 0;
+  std::vector<HeapEntry> heap_;        ///< 4-ary min-heap of distinct times
+  std::size_t queue_size_ = 0;         ///< queued events (incl. cancelled)
+  std::vector<std::uint32_t> batch_;   ///< tie-break scratch (reused)
   Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
   Stats stats_;
   NondetSource* nondet_ = nullptr;
 };
+
+inline void TimerHandle::cancel() {
+  if (sim_ != nullptr) sim_->cancel_slot(slot_, gen_);
+}
+
+inline bool TimerHandle::pending() const {
+  return sim_ != nullptr && sim_->slot_pending(slot_, gen_);
+}
 
 }  // namespace vsgc::sim

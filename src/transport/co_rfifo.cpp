@@ -24,7 +24,7 @@ std::uint64_t CoRfifoTransport::fresh_incarnation() {
 }
 
 void CoRfifoTransport::send(const std::set<net::NodeId>& dests,
-                            std::any payload, std::size_t payload_size) {
+                            net::Payload payload, std::size_t payload_size) {
   if (crashed_) return;
   for (net::NodeId q : dests) {
     ++stats_.messages_sent;
@@ -41,7 +41,7 @@ void CoRfifoTransport::send(const std::set<net::NodeId>& dests,
           return;
         }
         ++stats_.messages_delivered;
-        deliver_(self_, payload);
+        deliver_(self_, payload.any());
       });
       continue;
     }
@@ -61,7 +61,10 @@ void CoRfifoTransport::send(const std::set<net::NodeId>& dests,
 
 void CoRfifoTransport::transmit(net::NodeId to, const Packet& pkt) {
   stats_.bytes_sent += pkt.payload_size + kPacketHeaderBytes;
-  network_.send(self_, to, std::any(pkt), pkt.payload_size + kPacketHeaderBytes);
+  // Wrapping the Packet costs one allocation; the payload bytes inside it are
+  // shared by refcount with the unacked buffer, never copied.
+  network_.send(self_, to, net::Payload(pkt),
+                pkt.payload_size + kPacketHeaderBytes);
 }
 
 void CoRfifoTransport::arm_retransmit(net::NodeId to) {
@@ -169,7 +172,8 @@ void CoRfifoTransport::on_data(net::NodeId from, const Packet& pkt) {
       reset.is_reset = true;
       ++stats_.acks_sent;
       stats_.bytes_sent += kPacketHeaderBytes;
-      network_.send(self_, from, std::any(reset), kPacketHeaderBytes);
+      network_.send(self_, from, net::Payload(std::move(reset)),
+                    kPacketHeaderBytes);
       return;
     }
     // Fresh connection incarnation from the peer: restart the stream.
@@ -189,7 +193,7 @@ void CoRfifoTransport::on_data(net::NodeId from, const Packet& pkt) {
       ++in.next_expected;
       Packet ready = std::move(next->second);
       in.out_of_order.erase(next);
-      if (deliver_) deliver_(from, ready.payload);
+      if (deliver_) deliver_(from, ready.payload.any());
       if (crashed_) return;  // delivery handler may have crashed us
     }
   }
@@ -201,7 +205,7 @@ void CoRfifoTransport::on_data(net::NodeId from, const Packet& pkt) {
   ack.is_ack = true;
   ++stats_.acks_sent;
   stats_.bytes_sent += kPacketHeaderBytes;
-  network_.send(self_, from, std::any(ack), kPacketHeaderBytes);
+  network_.send(self_, from, net::Payload(std::move(ack)), kPacketHeaderBytes);
 }
 
 void CoRfifoTransport::crash() {

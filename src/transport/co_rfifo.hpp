@@ -48,7 +48,8 @@ struct Packet {
   bool is_ack = false;
   bool is_reset = false;  ///< ack only: "I lost this stream's prefix — start
                           ///< a fresh incarnation" (receiver crash recovery)
-  std::any payload;               ///< empty for acks
+  net::Payload payload;           ///< empty for acks; refcounted — copying a
+                                  ///< Packet never copies the payload bytes
   std::size_t payload_size = 0;   ///< serialized payload size (accounting)
 };
 
@@ -95,15 +96,18 @@ class CoRfifoTransport {
 
   /// Fire-and-forget datagram outside the reliable stream (no seq, no
   /// retransmit, no buffering). Used for heartbeats.
-  void send_raw(net::NodeId to, std::any payload, std::size_t payload_size = 0) {
+  void send_raw(net::NodeId to, net::Payload payload,
+                std::size_t payload_size = 0) {
     if (crashed_) return;
     stats_.bytes_sent += payload_size;
     network_.send(self_, to, std::move(payload), payload_size);
   }
 
   /// Multicast `payload` to every destination in `dests` (self allowed; a
-  /// self-destination is delivered locally after a scheduling hop).
-  void send(const std::set<net::NodeId>& dests, std::any payload,
+  /// self-destination is delivered locally after a scheduling hop). The
+  /// payload is wrapped into one refcounted handle here; fan-out, unacked
+  /// buffering, and retransmission all share it.
+  void send(const std::set<net::NodeId>& dests, net::Payload payload,
             std::size_t payload_size = 0);
 
   /// Maintain reliable gap-free connections to exactly `set` (plus self).

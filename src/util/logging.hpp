@@ -42,17 +42,20 @@ class Logger {
 
   /// Install a hook returning the current simulated time in microseconds.
   /// The installer must clear_sim_clock() before the clock's owner dies.
+  /// The hook is thread-local: each batch-engine worker runs its own World
+  /// with its own simulated clock, so installing one never races with (or
+  /// leaks into) a World running on another thread.
   void set_sim_clock(std::function<std::int64_t()> clock) {
-    clock_ = std::move(clock);
+    clock_() = std::move(clock);
   }
-  void clear_sim_clock() { clock_ = nullptr; }
+  void clear_sim_clock() { clock_() = nullptr; }
 
   void write(LogLevel level, const std::string& component,
              const std::string& message) {
     if (!enabled(level)) return;
     std::clog << "[" << name(level) << "]";
-    if (clock_) {
-      const std::int64_t us = clock_();
+    if (clock_()) {
+      const std::int64_t us = clock_()();
       std::clog << "[t=" << us / 1000 << "." << (us % 1000) / 100 << "ms]";
     }
     std::clog << " " << component << ": " << message << '\n';
@@ -76,8 +79,12 @@ class Logger {
     return "?";
   }
 
+  static std::function<std::int64_t()>& clock_() {
+    static thread_local std::function<std::int64_t()> clock;
+    return clock;
+  }
+
   LogLevel level_ = LogLevel::kOff;
-  std::function<std::int64_t()> clock_;
 };
 
 /// RAII installer for the sim-clock hook: harnesses hold one so the hook can

@@ -20,19 +20,20 @@ namespace vsgc {
 
 class Encoder {
  public:
+  /// Pre-size the buffer when the encoded size is known (or estimable) up
+  /// front, so a message encodes with at most one reallocation.
+  void reserve(std::size_t bytes) { buf_.reserve(buf_.size() + bytes); }
+
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
 
-  void put_u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
+  void put_u32(std::uint32_t v) { put_le(v, 4); }
 
-  void put_u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
+  void put_u64(std::uint64_t v) { put_le(v, 8); }
 
   void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
 
   void put_string(const std::string& s) {
+    reserve(4 + s.size());
     put_u32(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
@@ -46,6 +47,7 @@ class Encoder {
   }
 
   void put_process_set(const std::set<ProcessId>& s) {
+    reserve(4 + 4 * s.size());
     put_u32(static_cast<std::uint32_t>(s.size()));
     for (ProcessId p : s) put_process(p);
   }
@@ -54,6 +56,18 @@ class Encoder {
   std::size_t size() const { return buf_.size(); }
 
  private:
+  /// Append `n` little-endian bytes of `v` in one bulk write (memcpy into a
+  /// resized tail) instead of n push_backs.
+  void put_le(std::uint64_t v, std::size_t n) {
+    std::uint8_t le[8];
+    for (std::size_t i = 0; i < n; ++i) {
+      le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, le, n);
+  }
+
   std::vector<std::uint8_t> buf_;
 };
 

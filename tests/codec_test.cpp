@@ -146,5 +146,31 @@ TEST(Codec, TagsAreDistinct) {
   EXPECT_EQ(tags.size(), 8u);
 }
 
+TEST(Codec, EncoderReserveNeverChangesEncoding) {
+  // reserve() is a pure capacity hint; the byte stream must be identical
+  // with and without it, for any mix of scalar and bulk appends.
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    const View v = random_view(rng);
+    const std::string s = random_payload(rng);
+    Encoder plain;
+    Encoder hinted;
+    hinted.reserve(1 + 8 + 4 + 4 + 4 * v.members.size() + 4 + s.size());
+    for (Encoder* e : {&plain, &hinted}) {
+      e->put_u8(0x7e);
+      e->put_view_id(v.id);
+      e->put_process_set(v.members);
+      e->put_string(s);
+    }
+    ASSERT_EQ(plain.bytes(), hinted.bytes()) << "round " << round;
+    Decoder dec(hinted.bytes());
+    EXPECT_EQ(dec.get_u8(), 0x7e);
+    EXPECT_EQ(dec.get_view_id(), v.id);
+    EXPECT_EQ(dec.get_process_set(), v.members);
+    EXPECT_EQ(dec.get_string(), s);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
 }  // namespace
 }  // namespace vsgc

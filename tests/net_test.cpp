@@ -256,6 +256,50 @@ TEST(Network, OnewayOutageWithDropSpikesKeepsCoRfifoClean) {
       << "the stranded messages had to be retransmitted";
 }
 
+TEST(Network, DetachPrunesPerLinkTracking) {
+  // Regression: detach used to leave the node's last_arrival_ FIFO-tracking
+  // entries behind, so attach/detach churn (process crash/recovery cycles)
+  // grew the map without bound. Every cycle must end where it started.
+  Harness h;
+  h.attach_collector(NodeId{1});
+  std::size_t after_first_cycle = 0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const NodeId peer{2 + static_cast<std::uint32_t>(cycle)};
+    h.attach_collector(peer);
+    h.network.send(NodeId{1}, peer, Payload(std::string("ping")), 4);
+    h.network.send(peer, NodeId{1}, Payload(std::string("pong")), 4);
+    h.sim.run_to_quiescence();
+    EXPECT_GE(h.network.tracked_links(), 2u) << "cycle " << cycle;
+    h.network.detach(peer);
+    if (cycle == 0) {
+      after_first_cycle = h.network.tracked_links();
+    } else {
+      EXPECT_EQ(h.network.tracked_links(), after_first_cycle)
+          << "tracking grew across churn, cycle " << cycle;
+    }
+  }
+}
+
+TEST(Network, PayloadSharedAcrossFanOut) {
+  // One Payload handle delivered to several receivers must expose the same
+  // underlying std::any to each handler (no per-recipient copies).
+  Harness h;
+  std::vector<const std::any*> seen;
+  for (std::uint32_t n = 1; n <= 3; ++n) {
+    h.network.attach(NodeId{n}, [&seen](NodeId, const std::any& payload) {
+      seen.push_back(&payload);
+    });
+  }
+  const Payload shared(std::string("broadcast"));
+  for (std::uint32_t n = 1; n <= 3; ++n) {
+    h.network.send(NodeId{9}, NodeId{n}, shared, 9);
+  }
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[1], seen[2]);
+}
+
 TEST(Network, ServerAndClientAddressing) {
   EXPECT_FALSE(is_server_node(node_of(ProcessId{5})));
   EXPECT_TRUE(is_server_node(node_of(ServerId{0})));

@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event simulation kernel.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -210,6 +212,100 @@ TEST(Simulator, DeadlineAdvancesTimeWithoutEvents) {
   Simulator sim;
   sim.run_until(12345);
   EXPECT_EQ(sim.now(), 12345);
+}
+
+// --- TimerHandle generation-reuse edges (slab arena) -----------------------
+// The arena reuses event slots aggressively; a handle names (slot,
+// generation), so a handle from a fired/cancelled event must stay inert even
+// after its slot has been recycled for an unrelated event.
+
+TEST(Simulator, StaleHandleDoesNotCancelSlotReuse) {
+  Simulator sim;
+  int first = 0, second = 0;
+  TimerHandle stale = sim.schedule(1, [&] { ++first; });
+  sim.run_to_quiescence();  // fires; the slot returns to the free list
+  TimerHandle fresh = sim.schedule(1, [&] { ++second; });
+  stale.cancel();  // stale generation: must not touch the reused slot
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  sim.run_to_quiescence();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, StaleHandleStaysInertAcrossManyReuses) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle stale = sim.schedule(1, [&] { ++fired; });
+  sim.run_to_quiescence();
+  for (int i = 0; i < 100; ++i) {
+    TimerHandle h = sim.schedule(1, [&] { ++fired; });
+    stale.cancel();
+    EXPECT_FALSE(stale.pending());
+    EXPECT_TRUE(h.pending());
+    sim.run_to_quiescence();
+    stale = h;  // last-fired handle becomes the next round's stale handle
+  }
+  EXPECT_EQ(fired, 101);
+}
+
+TEST(Simulator, CancelOwnHandleInsideHandlerIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle h;
+  h = sim.schedule(1, [&] {
+    ++fired;
+    EXPECT_FALSE(h.pending());  // already executing: no longer pending
+    h.cancel();                 // self-cancel mid-execution must be inert
+  });
+  sim.run_to_quiescence();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.stats().events_cancelled, 0u);
+}
+
+TEST(Simulator, RearmInsideHandlerYieldsFreshHandle) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle h;
+  h = sim.schedule(1, [&] {
+    ++fired;
+    h = sim.schedule(1, [&] { ++fired; });
+    EXPECT_TRUE(h.pending());
+  });
+  sim.run_to_quiescence();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulator, OversizedClosuresExecuteAndCancelCleanly) {
+  // Captures larger than the 64-byte inline slot take the heap-cell
+  // fallback; both the execute and the cancel path must release it.
+  Simulator sim;
+  std::array<std::uint64_t, 16> big{};  // 128-byte capture
+  big[15] = 7;
+  int sum = 0;
+  sim.schedule(1, [big, &sum] { sum += static_cast<int>(big[15]); });
+  TimerHandle h = sim.schedule(2, [big, &sum] { sum += 100; });
+  h.cancel();
+  sim.run_to_quiescence();
+  EXPECT_EQ(sum, 7);
+  EXPECT_EQ(sim.stats().events_cancelled, 1u);
+}
+
+TEST(Simulator, ManyDistinctTimestampsDrainInOrder) {
+  // Exercises timestamp-bucket creation/retirement and the open-addressed
+  // time map's growth and deletion under a permuted insertion order.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i) {
+    const int t = (i * 787) % 1000;  // 787 coprime to 1000: a permutation
+    sim.schedule(t + 1, [&order, t] { order.push_back(t); });
+  }
+  sim.run_to_quiescence();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
 }
 
 }  // namespace

@@ -85,6 +85,61 @@ Check validate_lint(const JsonValue& root) {
   return c;
 }
 
+/// Extra schema for the wall-clock perf bench (BENCH_simperf.json): the CI
+/// perf gates read these fields, so their absence must fail loudly rather
+/// than silently passing a gate against a missing number.
+void validate_simperf(const JsonValue& results, Check& c) {
+  std::size_t kernel_legacy = 0, kernel_new = 0, sweep_jobs1 = 0,
+              sweep_hw = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JsonValue& row = results.at(i);
+    if (!row.is_object()) continue;
+    const std::string at = "results[" + std::to_string(i) + "]";
+    const JsonValue* kase = row.find("case");
+    c.require(kase != nullptr && kase->is_string(),
+              at + " missing string 'case'");
+    if (kase == nullptr || !kase->is_string()) continue;
+    const std::string name = kase->as_string();
+    const JsonValue* wall = row.find("wall_seconds");
+    c.require(wall != nullptr && wall->is_number() && wall->as_double() > 0,
+              at + " missing positive 'wall_seconds'");
+    const JsonValue* eps = row.find("events_per_sec");
+    c.require(eps != nullptr && eps->is_number() && eps->as_double() > 0,
+              at + " missing positive 'events_per_sec'");
+    if (name == "kernel_legacy" || name == "kernel_new") {
+      name == "kernel_legacy" ? ++kernel_legacy : ++kernel_new;
+      const JsonValue* allocs = row.find("allocations");
+      c.require(allocs != nullptr && allocs->is_int() &&
+                    allocs->as_int() >= 0,
+                at + " missing non-negative 'allocations'");
+      if (name == "kernel_new") {
+        const JsonValue* sp = row.find("speedup_vs_legacy");
+        c.require(sp != nullptr && sp->is_number() && sp->as_double() > 0,
+                  at + " missing positive 'speedup_vs_legacy'");
+      }
+    } else if (name == "sweep_jobs1" || name == "sweep_hw") {
+      name == "sweep_jobs1" ? ++sweep_jobs1 : ++sweep_hw;
+      const JsonValue* jobs = row.find("jobs");
+      c.require(jobs != nullptr && jobs->is_int() && jobs->as_int() >= 1,
+                at + " missing integer 'jobs' >= 1");
+      const JsonValue* sps = row.find("seeds_per_sec");
+      c.require(sps != nullptr && sps->is_number() && sps->as_double() > 0,
+                at + " missing positive 'seeds_per_sec'");
+      if (name == "sweep_hw") {
+        const JsonValue* sp = row.find("speedup_vs_jobs1");
+        c.require(sp != nullptr && sp->is_number() && sp->as_double() > 0,
+                  at + " missing positive 'speedup_vs_jobs1'");
+      }
+    } else {
+      c.require(false, at + " unknown simperf case '" + name + "'");
+    }
+  }
+  c.require(kernel_legacy == 1 && kernel_new == 1,
+            "simperf needs exactly one kernel_legacy and one kernel_new row");
+  c.require(sweep_jobs1 == 1 && sweep_hw == 1,
+            "simperf needs exactly one sweep_jobs1 and one sweep_hw row");
+}
+
 Check validate(const JsonValue& root) {
   Check c;
   c.require(root.is_object(), "document is not a JSON object");
@@ -117,6 +172,10 @@ Check validate(const JsonValue& root) {
     for (std::size_t i = 0; i < results->size(); ++i) {
       c.require(results->at(i).is_object(),
                 "'results[" + std::to_string(i) + "]' is not an object");
+    }
+    if (bench != nullptr && bench->is_string() &&
+        bench->as_string() == "simperf") {
+      validate_simperf(*results, c);
     }
   }
 

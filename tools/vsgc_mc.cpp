@@ -30,6 +30,7 @@
 // Every run writes a BENCH_mc.json artifact ($VSGC_BENCH_OUT) with the
 // schedules explored/deduped, choice points consumed, per-level breakdown,
 // and aggregated simulator stats.
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +46,7 @@
 #include "obs/artifact.hpp"
 #include "obs/json.hpp"
 #include "obs/trace_recorder.hpp"
+#include "sim/batch.hpp"
 
 namespace vsgc {
 namespace {
@@ -207,6 +209,9 @@ int usage() {
       "               [--jitter MICROS] [--max-deviations D] [--max-runs N]\n"
       "               [--horizon H] [--inject-bug] [--walks LO:HI]\n"
       "               [--out DIR] [--no-minimize] [--expect-violation]\n"
+      "               [--jobs N]\n"
+      "  --jobs N   run N schedules in parallel (0 = all hardware threads);\n"
+      "             stats, bundles and exit code are identical for every N\n"
       "       vsgc_mc --replay BUNDLE_DIR [--expect-violation]\n";
   return 2;
 }
@@ -269,6 +274,9 @@ int main(int argc, char** argv) {
       cfg.expect_violation = true;
     } else if (arg == "--replay") {
       cfg.replay_dir = value();
+    } else if (arg == "--jobs") {
+      cfg.explore.jobs = static_cast<std::size_t>(
+          std::strtoull(value().c_str(), nullptr, 10));
     } else {
       return usage();
     }
@@ -282,10 +290,32 @@ int main(int argc, char** argv) {
   }
 
   mc::Explorer explorer(cfg.scenario, cfg.explore);
+  const auto wall_start = std::chrono::steady_clock::now();
   const std::optional<mc::RunResult> found =
       cfg.random_walk ? explorer.random_walk(cfg.walk_lo, cfg.walk_hi)
                       : explorer.explore();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   print_stats(explorer.stats(), cfg.random_walk ? "random walk" : "explore");
+  // Throughput summary (stderr, wall-clock — not part of the deterministic
+  // stdout contract the CI jobs-independence check compares).
+  if (wall_seconds > 0.0) {
+    std::ostringstream tp;
+    tp.setf(std::ios::fixed);
+    tp.precision(2);
+    tp << "[throughput] " << explorer.stats().runs << " runs in "
+       << wall_seconds << "s — "
+       << (static_cast<double>(explorer.stats().runs) / wall_seconds)
+       << " runs/sec, "
+       << (static_cast<double>(explorer.stats().sim_stats.events_executed) /
+           wall_seconds / 1e6)
+       << "M events/sec, jobs="
+       << (cfg.explore.jobs == 0 ? sim::BatchRunner::hardware_jobs()
+                                 : cfg.explore.jobs);
+    std::cerr << tp.str() << "\n";
+  }
   write_artifact(cfg, explorer.stats(), found.has_value());
 
   if (!found.has_value()) {

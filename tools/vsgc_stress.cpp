@@ -27,6 +27,7 @@
 // duplicate delivery) at the given churn step; with --expect-violation the
 // exit code is 0 only if the bug was caught, minimized, and the minimized
 // bundle replays to a violation — the CI pipeline check.
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -40,8 +41,10 @@
 #include <vector>
 
 #include "app/world.hpp"
+#include "obs/artifact.hpp"
 #include "obs/json.hpp"
 #include "obs/trace_recorder.hpp"
+#include "sim/batch.hpp"
 #include "sim/failure_injector.hpp"
 #include "spec/liveness_checker.hpp"
 #include "util/assert.hpp"
@@ -65,6 +68,7 @@ struct StressConfig {
   bool minimize = true;
   bool expect_violation = false;
   std::string replay_dir;  // non-empty: replay a bundle instead of sweeping
+  std::size_t jobs = 1;    // parallel sweep workers; 0 = hardware threads
 };
 
 obs::JsonValue config_json(const StressConfig& cfg, std::uint64_t seed) {
@@ -132,6 +136,9 @@ struct RunResult {
   std::string what;
   sim::FaultScript script;       ///< ops actually applied
   std::vector<spec::Event> trace;
+  sim::Simulator::Stats sim_stats;  ///< kernel counters at end of run
+  sim::Time sim_time = 0;           ///< final simulated clock
+  double wall_seconds = 0.0;        ///< host time for this run (summary only)
 };
 
 /// One full execution: generate mode when `replay` is null, otherwise replay
@@ -170,6 +177,8 @@ RunResult run_one(const StressConfig& cfg, std::uint64_t seed,
   }
   result.script = injector.script();
   result.trace = w.trace().recorded();
+  result.sim_stats = w.sim().stats();
+  result.sim_time = w.sim().now();
   return result;
 }
 
@@ -294,7 +303,9 @@ int usage() {
       "                   [--steps K] [--drop P] [--two-tier]\n"
       "                   [--forwarding simple|mincopies] [--out DIR]\n"
       "                   [--no-minimize] [--inject-bug STEP]\n"
-      "                   [--expect-violation]\n"
+      "                   [--expect-violation] [--jobs N]\n"
+      "  --jobs N   run N seeds in parallel (0 = all hardware threads);\n"
+      "             output is identical for every N\n"
       "       vsgc_stress --replay BUNDLE_DIR [--expect-violation]\n";
   return 2;
 }
@@ -346,6 +357,8 @@ int main(int argc, char** argv) {
       cfg.expect_violation = true;
     } else if (arg == "--replay") {
       cfg.replay_dir = value();
+    } else if (arg == "--jobs") {
+      cfg.jobs = static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 10));
     } else {
       return usage();
     }
@@ -354,10 +367,42 @@ int main(int argc, char** argv) {
   if (!cfg.replay_dir.empty()) return replay_bundle(cfg);
   if (cfg.seed_hi < cfg.seed_lo) return usage();
 
+  const std::uint64_t seeds = cfg.seed_hi - cfg.seed_lo + 1;
+
+  // Parallel sweep: one fully isolated World per seed on the batch engine.
+  // Results are merged (printed, tallied, bundled) strictly in seed order, so
+  // stdout/stderr and every bundle are byte-identical for any --jobs value.
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim::BatchRunner runner(cfg.jobs);
+  const std::vector<RunResult> results = runner.map<RunResult>(
+      static_cast<std::size_t>(seeds), [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        RunResult r = run_one(cfg, cfg.seed_lo + i);
+        r.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        return r;
+      });
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
   std::uint64_t violations = 0;
   std::uint64_t actionable = 0;
+  std::uint64_t total_events = 0;
+  double serial_seconds = 0.0;
+  obs::BenchArtifact artifact("stress");
+  artifact.config("seeds") = seeds;
+  artifact.config("jobs") = static_cast<std::uint64_t>(runner.jobs());
+  artifact.config("clients") = cfg.clients;
+  artifact.config("servers") = cfg.servers;
+  artifact.config("steps") = cfg.steps;
   for (std::uint64_t seed = cfg.seed_lo; seed <= cfg.seed_hi; ++seed) {
-    const RunResult result = run_one(cfg, seed);
+    const RunResult& result = results[seed - cfg.seed_lo];
+    total_events += result.sim_stats.events_executed;
+    serial_seconds += result.wall_seconds;
+    artifact.tally(result.sim_stats, result.sim_time);
     if (!result.violation) {
       std::cout << "seed " << seed << ": ok (" << result.script.ops.size()
                 << " fault ops)\n";
@@ -368,7 +413,24 @@ int main(int argc, char** argv) {
     if (emit_bundle(cfg, seed, result)) ++actionable;
   }
 
-  const std::uint64_t seeds = cfg.seed_hi - cfg.seed_lo + 1;
+  // Throughput summary (stderr, wall-clock — deliberately not part of the
+  // deterministic stdout contract).
+  if (sweep_seconds > 0.0) {
+    std::ostringstream sweep;
+    sweep.setf(std::ios::fixed);
+    sweep.precision(2);
+    sweep << "[sweep] " << seeds << " seeds in " << sweep_seconds << "s — "
+          << (static_cast<double>(seeds) / sweep_seconds) << " seeds/sec, "
+          << (static_cast<double>(total_events) / sweep_seconds / 1e6)
+          << "M events/sec, jobs=" << runner.jobs();
+    if (runner.jobs() > 1 && sweep_seconds > 0.0) {
+      sweep << ", est. speedup vs --jobs 1: "
+            << (serial_seconds / sweep_seconds) << "x";
+    }
+    std::cerr << sweep.str() << "\n";
+  }
+  artifact.write_file();
+
   std::cout << "\n" << seeds << " seeds, " << violations << " violation(s)";
   if (violations > 0) std::cout << ", " << actionable << " minimized+replayed";
   std::cout << "\n";
