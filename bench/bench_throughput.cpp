@@ -7,6 +7,7 @@
 // cost grows linearly in fan-out.
 #include "app/world.hpp"
 #include "bench/helpers.hpp"
+#include "obs/span.hpp"
 
 using namespace vsgc;
 using namespace vsgc::bench;
@@ -14,18 +15,31 @@ using namespace vsgc::bench;
 namespace {
 
 struct Result {
-  double msgs_per_sec;
-  double avg_latency_ms;
-  double bytes_per_msg;
+  double msgs_per_sec = 0;
+  double avg_latency_ms = 0;
+  double bytes_per_msg = 0;
+  // Per-phase p95s from the causal span layer (DESIGN.md §10); log2-bucket
+  // resolution — wire is the transport leg, gate the delivery-condition wait.
+  std::uint64_t wire_p95_us = 0;
+  std::uint64_t gate_p95_us = 0;
+  std::uint64_t e2e_p95_us = 0;
 };
 
 Result run_case(int n, int payload_bytes, int messages,
                 obs::BenchArtifact& art, obs::Registry& reg) {
   app::WorldConfig cfg;
   cfg.num_clients = n;
-  cfg.attach_checkers = false;  // measuring, not verifying
-  cfg.record_trace = false;    // metrics stay disabled on the hot path
+  cfg.attach_checkers = false;   // measuring, not verifying
+  cfg.record_trace = false;      // nothing buffers the event stream
+  cfg.lifecycle_spans = true;    // span histograms ride the trace bus
   app::World w(cfg);
+  // Two span collectors: a per-case registry feeds this row's p95 columns,
+  // the shared one accumulates the artifact's span.* histograms.
+  obs::Registry case_reg;
+  obs::SpanCollector case_spans(case_reg);
+  obs::SpanCollector all_spans(reg);
+  w.trace().subscribe(case_spans);
+  w.trace().subscribe(all_spans);
 
   std::uint64_t delivered = 0;
   std::map<std::uint64_t, sim::Time> sent_at;
@@ -56,7 +70,7 @@ Result run_case(int n, int payload_bytes, int messages,
 
   w.start();
   if (!w.run_until_converged(w.all_members(), 10 * sim::kSecond)) {
-    return {0, 0, 0};
+    return {};
   }
 
   const std::uint64_t bytes_before =
@@ -73,7 +87,7 @@ Result run_case(int n, int payload_bytes, int messages,
   w.run_for(20 * sim::kSecond);
   const std::uint64_t expected =
       static_cast<std::uint64_t>(messages) * static_cast<std::uint64_t>(n);
-  if (delivered < expected) return {0, 0, 0};
+  if (delivered < expected) return {};
 
   // Time until the last delivery.
   const double span_s =
@@ -83,7 +97,10 @@ Result run_case(int n, int payload_bytes, int messages,
       w.process(0).transport().stats().bytes_sent;
   return {static_cast<double>(messages) / span_s,
           latency_sum / static_cast<double>(latency_n),
-          static_cast<double>(bytes_after - bytes_before) / messages};
+          static_cast<double>(bytes_after - bytes_before) / messages,
+          case_reg.histogram("span.msg.wire_us").quantile(0.95),
+          case_reg.histogram("span.msg.gate_us").quantile(0.95),
+          case_reg.histogram("span.msg.e2e_us").quantile(0.95)};
 }
 
 }  // namespace
@@ -100,17 +117,21 @@ int main() {
   obs::Registry reg;
 
   Table t({"group size", "payload (B)", "msgs/s", "avg delivery latency (ms)",
-           "sender bytes/msg"});
+           "sender bytes/msg", "wire p95 (us)", "e2e p95 (us)"});
   for (int n : {2, 4, 8, 12}) {
     for (int payload : {32, 256, 1024}) {
       const Result r = run_case(n, payload, 500, art, reg);
-      t.row(n, payload, r.msgs_per_sec, r.avg_latency_ms, r.bytes_per_msg);
+      t.row(n, payload, r.msgs_per_sec, r.avg_latency_ms, r.bytes_per_msg,
+            r.wire_p95_us, r.e2e_p95_us);
       obs::JsonValue& row = art.add_result();
       row["group_size"] = n;
       row["payload_bytes"] = payload;
       row["msgs_per_sec"] = r.msgs_per_sec;
       row["avg_latency_ms"] = r.avg_latency_ms;
       row["sender_bytes_per_msg"] = r.bytes_per_msg;
+      row["wire_p95_us"] = static_cast<std::int64_t>(r.wire_p95_us);
+      row["gate_p95_us"] = static_cast<std::int64_t>(r.gate_p95_us);
+      row["e2e_p95_us"] = static_cast<std::int64_t>(r.e2e_p95_us);
     }
   }
   t.print("throughput / latency vs group size and payload");

@@ -14,6 +14,7 @@
 // rounds are parallel multicasts).
 #include "bench/helpers.hpp"
 #include "bench/worlds.hpp"
+#include "obs/span.hpp"
 
 using namespace vsgc;
 using namespace vsgc::bench;
@@ -32,13 +33,21 @@ double measure_view_change(int n, obs::BenchArtifact& art, obs::Registry* reg,
   net_cfg.base_latency = kLatency;
   net_cfg.jitter = 0;
   std::unique_ptr<obs::MetricsCollector> collector;
+  std::unique_ptr<obs::SpanCollector> spans;
   WorldT w(n, net_cfg);
   ViewTimeRecorder rec;
   w.trace.subscribe(rec);
-  if (timeline != nullptr) w.trace.subscribe(*timeline);
+  if (timeline != nullptr) {
+    // Fine-grained span milestones (sync-message send, wire legs) so the
+    // recorded timeline decomposes into view-change phases (DESIGN.md §10).
+    w.trace.set_lifecycle(true);
+    w.trace.subscribe(*timeline);
+  }
   if (reg != nullptr) {
     collector = std::make_unique<obs::MetricsCollector>(*reg);
+    spans = std::make_unique<obs::SpanCollector>(*reg);
     w.trace.subscribe(*collector);
+    w.trace.subscribe(*spans);
   }
 
   // Initial convergence.
@@ -98,6 +107,32 @@ int main() {
     row["speedup"] = base / ours;
   }
   t.print("view-change latency vs group size");
+
+  // Per-phase decomposition of the exported n=4 run's measured
+  // reconfiguration (its final view): for every member, the four phases
+  // telescope to installed - start_change EXACTLY (obs::view_phases), so
+  // each row's phase sum IS that member's end-to-end view-change latency.
+  const obs::TraceAnalysis analysis = obs::analyze(timeline.events());
+  if (!analysis.views.empty()) {
+    const ViewId last = analysis.views.back().view;
+    Table bt({"member", "blocking (us)", "sync send (us)",
+              "membership wait (us)", "install wait (us)", "e2e (us)"});
+    for (const obs::ViewSpan& vs : analysis.views) {
+      if (!(vs.view == last)) continue;
+      const obs::ViewPhases ph = obs::view_phases(vs);
+      bt.row(static_cast<std::int64_t>(vs.p.value), ph.blocking, ph.sync_send,
+             ph.membership_wait, ph.install_wait, ph.total);
+      obs::JsonValue& row = art.add_result();
+      row["row"] = "phase_breakdown";
+      row["member"] = static_cast<std::int64_t>(vs.p.value);
+      row["phase_blocking_us"] = ph.blocking;
+      row["phase_sync_send_us"] = ph.sync_send;
+      row["phase_membership_wait_us"] = ph.membership_wait;
+      row["phase_install_wait_us"] = ph.install_wait;
+      row["e2e_us"] = ph.total;
+    }
+    bt.print("view-change phase breakdown (n=4, measured reconfiguration)");
+  }
 
   art.set_metrics(reg);
   const std::string dir = obs::BenchArtifact::output_dir();

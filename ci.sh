@@ -73,6 +73,28 @@ VSGC_BENCH_OUT="$ARTIFACT_DIR2" "$BUILD_DIR/bench/bench_view_change" > /dev/null
 cmp "$ARTIFACT_DIR/TRACE_view_change.jsonl" "$ARTIFACT_DIR2/TRACE_view_change.jsonl"
 echo "TRACE_view_change.jsonl byte-identical across runs"
 
+echo "== causal trace analysis (vsgc_trace) =="
+# Fault-free seeded stress through the span analyzer: every expected
+# delivery must be accounted for (zero orphans), the report and the
+# BENCH_tracelat.json artifact must be schema-valid, and the report must be
+# byte-identical across two same-seed replays.
+TRACE_OUT="$BUILD_DIR/trace-out"
+rm -rf "$TRACE_OUT"
+mkdir -p "$TRACE_OUT"
+"$BUILD_DIR/tools/vsgc_trace" --record --seed 7 --clients 5 --servers 2 \
+  --messages 40 --check-no-orphans --report "$TRACE_OUT/report1.txt" \
+  --json "$TRACE_OUT"
+"$BUILD_DIR/tools/vsgc_trace" --record --seed 7 --clients 5 --servers 2 \
+  --messages 40 --check-no-orphans --report "$TRACE_OUT/report2.txt"
+cmp "$TRACE_OUT/report1.txt" "$TRACE_OUT/report2.txt"
+"$BUILD_DIR/tools/validate_bench_json" "$TRACE_OUT/BENCH_tracelat.json"
+echo "vsgc_trace: zero orphans fault-free, report byte-identical across runs"
+# Churn run: losses under injected faults must all be attributable (crash,
+# exclusion by the cut, in-flight at trace end) — never "unexplained".
+"$BUILD_DIR/tools/vsgc_trace" --record --seed 11 --churn --check-clean \
+  --report "$TRACE_OUT/churn.txt"
+echo "vsgc_trace: churn losses fully attributed (no unexplained orphans)"
+
 echo "== stress fuzz smoke (sanitized) =="
 # Fixed seed block, small world, full checker suite: any violation fails CI
 # and the repro bundle path is printed by the tool itself.

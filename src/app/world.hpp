@@ -32,6 +32,9 @@ struct WorldConfig {
   gcs::SyncRouting sync_routing;  ///< direct by default
   bool attach_checkers = true;
   bool record_trace = true;
+  /// Emit the fine-grained causal span events (DESIGN.md §10) so recorded
+  /// traces carry per-message lifecycles and view-change phase milestones.
+  bool lifecycle_spans = false;
 };
 
 class World {
@@ -40,6 +43,7 @@ class World {
     network_ = std::make_unique<net::Network>(sim_, Rng(config.seed),
                                               config.net);
     if (config.record_trace) trace_.set_recording(true);
+    if (config.lifecycle_spans) trace_.set_lifecycle(true);
     if (config.attach_checkers) checkers_.attach(trace_);
 
     std::set<ServerId> server_ids;
@@ -49,6 +53,7 @@ class World {
     for (ServerId s : server_ids) {
       servers_.push_back(std::make_unique<membership::MembershipServer>(
           sim_, *network_, s, server_ids, config.server));
+      servers_.back()->set_trace(&trace_);
     }
 
     for (int i = 0; i < config.num_clients; ++i) {

@@ -46,6 +46,10 @@ class Process {
     membership_ = std::make_unique<membership::MembershipClient>(
         sim, *transport_, self, server, config.membership);
     membership_->add_listener(*endpoint_);
+    // Span instrumentation shares the end-point's bus; all sites stay
+    // zero-cost until TraceBus::set_lifecycle(true) (DESIGN.md §10).
+    transport_->set_trace(trace);
+    membership_->set_trace(trace);
     transport_->set_deliver_handler(
         [this](net::NodeId from, const std::any& payload) {
           if (membership_->handle(from, payload)) return;

@@ -189,12 +189,14 @@ bool VsRfifoTsEndpoint::try_send_sync_msg() {
   }
 
   sync_msgs_[self_][cid] = data;
+  if (lifecycle_on()) emit(spec::SyncSent{self_, cid});
   return true;
 }
 
 void VsRfifoTsEndpoint::store_sync(ProcessId from, const wire::SyncMsg& sync) {
   sync_msgs_[from][sync.cid] = SyncMsgData{sync.view, sync.cut};
   ++vs_stats_.sync_msgs_received;
+  if (lifecycle_on()) emit(spec::SyncRecv{self_, from, sync.cid});
 }
 
 void VsRfifoTsEndpoint::relay_as_leader(ProcessId origin,
@@ -350,6 +352,9 @@ bool VsRfifoTsEndpoint::try_forward() {
     transport_.send(nodes_of(fresh, /*exclude_self=*/true), net::Payload(fm),
                     fm.wire_size());
     vs_stats_.forwards_sent += fresh.size();
+    if (lifecycle_on()) {
+      emit(spec::MsgForward{self_, m->sender, m->uid, fresh.size()});
+    }
     progress = true;
   }
   return progress;

@@ -100,12 +100,18 @@ bool WvRfifoEndpoint::on_co_rfifo_deliver(ProcessId from,
     const std::int64_t index = last_rcvd_[from] + 1;
     buffer_mut(from, view_msg_of(from).id).put(index, am->msg);
     last_rcvd_[from] = index;
+    if (lifecycle_on()) {
+      emit(spec::MsgRecv{self_, from, am->msg.sender, am->msg.uid, false});
+    }
     pump();
     return true;
   }
 
   if (const auto* fm = std::any_cast<wire::FwdMsg>(&payload)) {
     buffer_mut(fm->orig, fm->view.id).put(fm->index, fm->msg);
+    if (lifecycle_on()) {
+      emit(spec::MsgRecv{self_, from, fm->msg.sender, fm->msg.uid, true});
+    }
     pump();
     return true;
   }
@@ -186,6 +192,7 @@ bool WvRfifoEndpoint::try_send_app_msgs() {
     transport_.send(nodes_of(current_view_.members, /*exclude_self=*/true),
                     net::Payload(am), am.wire_size());
     ++last_sent_;
+    if (lifecycle_on()) emit(spec::MsgWireSend{self_, m->sender, m->uid});
     progress = true;
   }
   return progress;

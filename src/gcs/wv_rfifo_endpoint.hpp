@@ -148,6 +148,13 @@ class WvRfifoEndpoint : public membership::Listener {
                                  bool exclude_self) const;
   void emit(spec::EventBody body);
 
+  /// Gate for the high-volume causal span events (DESIGN.md §10): emission
+  /// sites construct nothing unless a collector opted in via
+  /// TraceBus::set_lifecycle(true).
+  bool lifecycle_on() const {
+    return trace_ != nullptr && trace_->lifecycle();
+  }
+
   sim::Simulator& sim_;
   transport::CoRfifoTransport& transport_;
   ProcessId self_;

@@ -11,7 +11,10 @@ bool MembershipClient::handle(net::NodeId from, const std::any& payload) {
     if (!running_) return true;
     // Local uniqueness / monotonicity of cids (guaranteed by the server; the
     // guard protects against stale duplicates after re-attachment).
-    if (!(last_cid_ < sc->cid)) return true;
+    if (!(last_cid_ < sc->cid)) {
+      emit_notify_drop(sc->cid.value);
+      return true;
+    }
     last_cid_ = sc->cid;
     VSGC_TRACE("mbr-client", to_string(self_) << " start_change "
                                               << to_string(sc->cid));
@@ -22,11 +25,14 @@ bool MembershipClient::handle(net::NodeId from, const std::any& payload) {
   if (const auto* vd = std::any_cast<wire::ViewDelivery>(&payload)) {
     if (!running_) return true;
     const View& v = vd->view;
-    if (!(last_view_id_ < v.id)) return true;  // Local Monotonicity
-    if (!v.contains(self_)) return true;       // Self Inclusion guard
-    // The MBRSHP spec requires a start_change before every view; the view's
-    // startId for us must be the latest cid we saw.
-    if (v.start_id_of(self_) != last_cid_) return true;
+    // Local Monotonicity / Self Inclusion / latest-start_change guards: a
+    // failed guard suppresses the notification (and marks the drop when span
+    // instrumentation is on).
+    if (!(last_view_id_ < v.id) || !v.contains(self_) ||
+        v.start_id_of(self_) != last_cid_) {
+      emit_notify_drop(v.id.epoch);
+      return true;
+    }
     last_view_id_ = v.id;
     VSGC_TRACE("mbr-client", to_string(self_) << " view " << to_string(v));
     for (Listener* l : listeners_) l->on_view(v);

@@ -16,6 +16,7 @@
 #include "membership/wire.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
+#include "spec/events.hpp"
 #include "transport/co_rfifo.hpp"
 
 namespace vsgc::membership {
@@ -81,7 +82,19 @@ class MembershipClient {
   ProcessId self() const { return self_; }
   ServerId server() const { return server_; }
 
+  /// Optional span instrumentation (DESIGN.md §10): when set AND the bus has
+  /// lifecycle on, suppressed stale notifications emit spec::MbrPhase
+  /// "notify_drop" markers. Zero-cost otherwise.
+  void set_trace(spec::TraceBus* trace) { trace_ = trace; }
+
  private:
+  void emit_notify_drop(std::uint64_t round) {
+    if (trace_ != nullptr && trace_->lifecycle()) {
+      trace_->emit(sim_.now(),
+                   spec::MbrPhase{self_.value, "notify_drop", round});
+    }
+  }
+
   void heartbeat_tick() {
     if (!running_) return;
     wire::Heartbeat hb{/*from_server=*/false, self_.value, incarnation_};
@@ -98,6 +111,7 @@ class MembershipClient {
   Config config_;
 
   std::vector<Listener*> listeners_;
+  spec::TraceBus* trace_ = nullptr;
   ViewId last_view_id_ = ViewId::zero();
   StartChangeId last_cid_ = StartChangeId::zero();
   std::uint64_t incarnation_ = 0;

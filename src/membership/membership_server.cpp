@@ -93,6 +93,9 @@ void MembershipServer::update_reliable_set() {
 }
 
 void MembershipServer::on_estimate_change() {
+  // Span milestone: the failure detector's connectivity estimate moved —
+  // this is what kicks off the round that reconfigure() opens next.
+  emit_phase("suspicion", round_ + 1);
   update_reliable_set();
   reconfigure();
   try_form();
@@ -101,6 +104,7 @@ void MembershipServer::on_estimate_change() {
 void MembershipServer::reconfigure(std::uint64_t min_round) {
   ++stats_.rounds_started;
   round_ = std::max({round_ + 1, min_round, last_epoch_ + 1});
+  emit_phase("round_start", round_);
 
   const std::set<ProcessId> local = alive_local_clients();
   const std::set<ServerId> participants = alive_servers();
@@ -250,6 +254,7 @@ void MembershipServer::try_form() {
 
 void MembershipServer::deliver_view(const View& v) {
   ++stats_.views_formed;
+  emit_phase("view_formed", v.id.epoch);
   last_formed_ = v;
   last_epoch_ = std::max(last_epoch_, v.id.epoch);
   for (auto& [p, rec] : clients_) {

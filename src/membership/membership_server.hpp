@@ -38,6 +38,7 @@
 #include "membership/wire.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
+#include "spec/events.hpp"
 #include "transport/co_rfifo.hpp"
 
 namespace vsgc::membership {
@@ -76,7 +77,23 @@ class MembershipServer {
   /// Current last formed epoch (exposed for tests/benches).
   std::uint64_t last_epoch() const { return last_epoch_; }
 
+  /// Optional span instrumentation (DESIGN.md §10): when set AND the bus has
+  /// lifecycle on, the server emits spec::MbrPhase markers ("suspicion",
+  /// "round_start", "view_formed") keyed by its NodeId, and the server's
+  /// transport emits retransmission events. Zero-cost otherwise.
+  void set_trace(spec::TraceBus* trace) {
+    trace_ = trace;
+    transport_->set_trace(trace);
+  }
+
  private:
+  void emit_phase(const char* phase, std::uint64_t round) {
+    if (trace_ != nullptr && trace_->lifecycle()) {
+      trace_->emit(sim_.now(),
+                   spec::MbrPhase{net::node_of(self_).value, phase, round});
+    }
+  }
+
   struct ClientRecord {
     StartChangeId last_cid{0};
     std::set<ProcessId> last_sc_set;  ///< set in the latest start_change
@@ -108,6 +125,7 @@ class MembershipServer {
 
   std::unique_ptr<transport::CoRfifoTransport> transport_;
   FailureDetector fd_;
+  spec::TraceBus* trace_ = nullptr;
 
   std::map<ProcessId, ClientRecord> clients_;  ///< local clients
   std::map<ServerId, wire::Proposal> proposals_;  ///< highest-round per server

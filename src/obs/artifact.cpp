@@ -35,7 +35,7 @@ std::string BenchArtifact::output_dir() {
   return (dir != nullptr && *dir != '\0') ? dir : ".";
 }
 
-std::string BenchArtifact::write_file() {
+std::string BenchArtifact::write_file(const std::string& dir) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started_)
@@ -52,7 +52,8 @@ std::string BenchArtifact::write_file() {
   sim["wall_seconds_per_sim_second"] =
       sim_seconds > 0 ? wall / sim_seconds : 0.0;
 
-  const std::string path = output_dir() + "/BENCH_" + name_ + ".json";
+  const std::string path =
+      (dir.empty() ? output_dir() : dir) + "/BENCH_" + name_ + ".json";
   std::ofstream os(path, std::ios::binary);
   if (!os) {
     std::cerr << "obs: cannot write " << path << "\n";

@@ -56,8 +56,9 @@ class BenchArtifact {
   const JsonValue& root() const { return root_; }
 
   /// Finalize wall-clock stats and write BENCH_<name>.json. Returns the path
-  /// written, or an empty string on I/O failure.
-  std::string write_file();
+  /// written, or an empty string on I/O failure. A non-empty `dir` overrides
+  /// the $VSGC_BENCH_OUT destination (CLI tools with a --json flag).
+  std::string write_file(const std::string& dir = {});
 
   /// Directory artifacts go to: $VSGC_BENCH_OUT or ".".
   static std::string output_dir();

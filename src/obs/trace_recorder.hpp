@@ -22,6 +22,14 @@
 //   {"at":N,"type":"mbr_view","p":P,"view":V}
 //   {"at":N,"type":"crash","p":P} / {"at":N,"type":"recover","p":P}
 //   {"at":N,"type":"fault","kind":K,"detail":D}   (sim::FailureInjector)
+// Causal span events (emitted only when TraceBus::lifecycle() is on):
+//   {"at":N,"type":"msg_wire_send","p":P,"sender":Q,"uid":U}
+//   {"at":N,"type":"msg_recv","p":P,"from":F,"sender":Q,"uid":U,"fwd":B}
+//   {"at":N,"type":"msg_forward","p":P,"sender":Q,"uid":U,"copies":K}
+//   {"at":N,"type":"sync_sent","p":P,"cid":C}
+//   {"at":N,"type":"sync_recv","p":P,"from":F,"cid":C}
+//   {"at":N,"type":"xport_retransmit","from_node":A,"to_node":B,"packets":K}
+//   {"at":N,"type":"mbr_phase","node":X,"phase":S,"round":R}
 // where V = {"epoch":E,"origin":O,"members":[P...],"start_id":{"P":C,...}}.
 #pragma once
 

@@ -79,11 +79,17 @@ void CoRfifoTransport::arm_retransmit(net::NodeId to) {
         if (out.unacked.empty()) return;
         if (!reliable_set_.contains(to)) return;  // abandoned connection
         std::size_t sent = 0;
+        std::uint64_t resent = 0;
         for (Packet& pkt : out.unacked) {
           if (sent++ >= config_.retransmit_batch) break;
           pkt.first_seq = out.acked + 1;  // refresh prefix availability
           ++stats_.retransmissions;
+          ++resent;
           transmit(to, pkt);
+        }
+        if (resent > 0 && trace_ != nullptr && trace_->lifecycle()) {
+          trace_->emit(sim_.now(),
+                       spec::XportRetransmit{self_.value, to.value, resent});
         }
         arm_retransmit(to);
       });
@@ -143,6 +149,10 @@ void CoRfifoTransport::on_ack(net::NodeId from, const Packet& pkt) {
       // recovery cost, counted like any other retransmission.
       ++stats_.retransmissions;
       transmit(from, p);
+    }
+    if (seq > 1 && trace_ != nullptr && trace_->lifecycle()) {
+      trace_->emit(sim_.now(),
+                   spec::XportRetransmit{self_.value, from.value, seq - 1});
     }
     out.next_seq = seq;
     out.retransmit_timer.cancel();

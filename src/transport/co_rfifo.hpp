@@ -36,6 +36,7 @@
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
+#include "spec/events.hpp"
 #include "util/ids.hpp"
 
 namespace vsgc::transport {
@@ -123,6 +124,11 @@ class CoRfifoTransport {
   const Stats& stats() const { return stats_; }
   net::NodeId self() const { return self_; }
 
+  /// Optional span instrumentation (DESIGN.md §10): when set AND the bus has
+  /// lifecycle on, retransmission bursts emit spec::XportRetransmit events.
+  /// Zero-cost otherwise (one branch per burst, not per packet).
+  void set_trace(spec::TraceBus* trace) { trace_ = trace; }
+
  private:
   struct Outgoing {
     std::uint64_t incarnation = 0;
@@ -152,6 +158,7 @@ class CoRfifoTransport {
   Stats stats_;
   DeliverFn deliver_;
   DeliverFn raw_;
+  spec::TraceBus* trace_ = nullptr;
 
   std::set<net::NodeId> reliable_set_;
   std::map<net::NodeId, Outgoing> outgoing_;

@@ -7,6 +7,7 @@
 // names out of string literals.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -318,6 +319,49 @@ TEST(LintEventCoverage, PragmaSuppresses) {
       "#pragma once\nvoid on_a(const EvA& e);\n");
   EXPECT_EQ(count_rule(fs, "event-coverage", /*suppressed=*/true), 1);
   EXPECT_EQ(count_rule(fs, "event-coverage", /*suppressed=*/false), 0);
+}
+
+// Span-marker variants (MsgWireSend and friends) are consumed by
+// obs::SpanCollector, not by a spec checker — the rule must still flag them
+// (obs is outside the all_checkers reachability set), and the repo's
+// span-marker pragma idiom must suppress them with its justification intact.
+TEST(LintEventCoverage, SpanMarkerConsumedOnlyByObsStillNeedsPragma) {
+  Linter linter;
+  linter.lint_source("src/spec/events.hpp",
+                     "#pragma once\n"
+                     "struct EvA { int p; };\n"
+                     "struct MsgWireSend { int p; };\n"
+                     "using EventBody = std::variant<EvA, MsgWireSend>;\n");
+  linter.lint_source("src/spec/all_checkers.hpp",
+                     "#pragma once\n#include \"spec/foo_checker.hpp\"\n");
+  linter.lint_source("src/spec/foo_checker.hpp",
+                     "#pragma once\nvoid on_a(const EvA& e);\n");
+  linter.lint_source(
+      "src/obs/span.cpp",
+      "#include \"spec/events.hpp\"\n"
+      "void on_event(const MsgWireSend& e);\n");  // obs-side consumer
+  linter.finalize();
+  const auto fs = linter.findings();
+  ASSERT_EQ(count_rule(fs, "event-coverage"), 1);
+  EXPECT_NE(fs[0].message.find("MsgWireSend"), std::string::npos);
+}
+
+TEST(LintEventCoverage, SpanMarkerPragmaIdiomSuppresses) {
+  const auto fs = run_spec_trio(
+      "#pragma once\n"
+      "struct EvA { int p; };\n"
+      "// vsgc-lint: allow(event-coverage) causal span marker, consumed by "
+      "obs::SpanCollector / tools/vsgc_trace rather than by a spec checker\n"
+      "struct MsgWireSend { int p; };\n"
+      "using EventBody = std::variant<EvA, MsgWireSend>;\n",
+      "#pragma once\nvoid on_a(const EvA& e);\n");
+  EXPECT_EQ(count_rule(fs, "event-coverage", /*suppressed=*/true), 1);
+  EXPECT_EQ(count_rule(fs, "event-coverage", /*suppressed=*/false), 0);
+  const auto it = std::find_if(fs.begin(), fs.end(), [](const Finding& f) {
+    return f.rule == "event-coverage";
+  });
+  ASSERT_NE(it, fs.end());
+  EXPECT_NE(it->justification.find("SpanCollector"), std::string::npos);
 }
 
 // --- include-guard ----------------------------------------------------------

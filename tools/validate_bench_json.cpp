@@ -140,6 +140,72 @@ void validate_simperf(const JsonValue& results, Check& c) {
             "simperf needs exactly one sweep_jobs1 and one sweep_hw row");
 }
 
+/// Schema for tools/vsgc_trace --json output (BENCH_tracelat.json,
+/// obs::append_tracelat_results): exactly one "summary" row plus per-phase
+/// "msg_phase"/"view_phase" rows with known phase names. The CI trace gate
+/// reads orphan counts from here, so absence must fail loudly.
+void validate_tracelat(const JsonValue& results, Check& c) {
+  std::size_t summaries = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JsonValue& row = results.at(i);
+    if (!row.is_object()) continue;
+    const std::string at = "results[" + std::to_string(i) + "]";
+    const JsonValue* kind = row.find("row");
+    c.require(kind != nullptr && kind->is_string(),
+              at + " missing string 'row'");
+    if (kind == nullptr || !kind->is_string()) continue;
+    const std::string name = kind->as_string();
+    if (name == "summary") {
+      ++summaries;
+      for (const char* field :
+           {"messages", "legs_expected", "legs_delivered", "orphans",
+            "orphans_unexplained", "retransmit_packets", "forward_copies",
+            "view_changes", "end_at_us"}) {
+        const JsonValue* v = row.find(field);
+        c.require(v != nullptr && v->is_int() && v->as_int() >= 0,
+                  at + " missing non-negative integer '" + field + "'");
+      }
+    } else if (name == "msg_phase" || name == "view_phase") {
+      const JsonValue* phase = row.find("phase");
+      c.require(phase != nullptr && phase->is_string(),
+                at + " missing string 'phase'");
+      if (phase != nullptr && phase->is_string()) {
+        const std::string p = phase->as_string();
+        const bool known =
+            name == "msg_phase"
+                ? (p == "sender_queue" || p == "wire" || p == "gate" ||
+                   p == "end_to_end")
+                : (p == "blocking" || p == "sync_send" ||
+                   p == "membership_wait" || p == "install_wait" ||
+                   p == "end_to_end");
+        c.require(known, at + " unknown " + name + " phase '" + p + "'");
+      }
+      for (const char* field :
+           {"count", "p50_us", "p95_us", "p99_us", "max_us"}) {
+        const JsonValue* v = row.find(field);
+        c.require(v != nullptr && v->is_int() && v->as_int() >= 0,
+                  at + " missing non-negative integer '" + field + "'");
+      }
+    } else {
+      c.require(false, at + " unknown tracelat row '" + name + "'");
+    }
+  }
+  c.require(summaries == 1, "tracelat needs exactly one summary row");
+}
+
+/// True iff metrics.histograms carries a histogram with this exact name.
+bool has_histogram(const JsonValue& root, const std::string& name) {
+  const JsonValue* metrics = root.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return false;
+  const JsonValue* hists = metrics->find("histograms");
+  if (hists == nullptr || !hists->is_array()) return false;
+  for (const JsonValue& row : hists->items()) {
+    const JsonValue* n = row.find("name");
+    if (n != nullptr && n->is_string() && n->as_string() == name) return true;
+  }
+  return false;
+}
+
 Check validate(const JsonValue& root) {
   Check c;
   c.require(root.is_object(), "document is not a JSON object");
@@ -176,6 +242,22 @@ Check validate(const JsonValue& root) {
     if (bench != nullptr && bench->is_string() &&
         bench->as_string() == "simperf") {
       validate_simperf(*results, c);
+    }
+    if (bench != nullptr && bench->is_string() &&
+        bench->as_string() == "tracelat") {
+      validate_tracelat(*results, c);
+    }
+  }
+
+  // Benches that enable lifecycle spans must export the span histograms the
+  // per-phase breakdowns are derived from (ISSUE 6 acceptance).
+  if (bench != nullptr && bench->is_string()) {
+    if (bench->as_string() == "throughput") {
+      c.require(has_histogram(root, "span.msg.e2e_us"),
+                "throughput artifact missing histogram 'span.msg.e2e_us'");
+    } else if (bench->as_string() == "view_change") {
+      c.require(has_histogram(root, "span.view.e2e_us"),
+                "view_change artifact missing histogram 'span.view.e2e_us'");
     }
   }
 
