@@ -127,6 +127,8 @@ inline void record_network_stats(obs::Registry& reg, const net::Network& net) {
   reg.counter("net.packets_delivered").inc(s.packets_delivered);
   reg.counter("net.packets_dropped").inc(s.packets_dropped);
   reg.counter("net.bytes_sent").inc(s.bytes_sent);
+  reg.gauge("net.max_packet_bytes")
+      .max_of(static_cast<std::int64_t>(s.max_packet_bytes));
 }
 
 /// Fold one end-point's VS-layer stats into a registry, labeled by process —

@@ -198,6 +198,16 @@ VSGC_BENCH_OUT="$PERF_OUT" "$BUILD_DIR_REL/bench/bench_simperf" \
   "${SIMPERF_ARGS[@]}"
 "$BUILD_DIR_REL/tools/validate_bench_json" "$PERF_OUT/BENCH_simperf.json"
 
+echo "== perf bench: batched data plane (Release, wall-clock gate) =="
+# The fan-in case must show the batching + piggybacked/delayed-ack data plane
+# (DESIGN.md §11) delivering >= 3x wall-clock msgs/sec over the unbatched
+# one-frame-per-message plane, and the artifact must carry the byte-overhead
+# columns the extended throughput schema requires.
+cmake --build "$BUILD_DIR_REL" -j "$JOBS" --target bench_throughput
+VSGC_BENCH_OUT="$PERF_OUT" "$BUILD_DIR_REL/bench/bench_throughput" \
+  --check-batching-speedup 3.0
+"$BUILD_DIR_REL/tools/validate_bench_json" "$PERF_OUT/BENCH_throughput.json"
+
 echo "== thread sanitizer (batch engine) =="
 # TSan and ASan cannot share a build; a dedicated tree covers the only
 # threaded component (sim::BatchRunner) plus a parallel stress sweep that

@@ -15,6 +15,7 @@
 #include "sim/failure_injector.hpp"
 #include "sim/simulator.hpp"
 #include "spec/all_checkers.hpp"
+#include "spec/co_rfifo_checker.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -128,6 +129,20 @@ class World {
     std::set<ProcessId> out;
     for (const auto& p : processes_) out.insert(p->id());
     return out;
+  }
+
+  /// Assert the flow-control bounds (DESIGN.md §11) on every transport in
+  /// the world: no unacked queue ever exceeded its credit window and no
+  /// reorder buffer its receive window. Cheap (reads peak stats); stress and
+  /// mc harnesses call it alongside the trace checkers' finalize().
+  void check_transport_bounded() const {
+    const auto check = [](const transport::CoRfifoTransport& t) {
+      spec::CoRfifoChecker::check_bounded(
+          t.self(), t.stats().peak_unacked, t.config().send_window,
+          t.stats().peak_out_of_order, t.config().recv_window);
+    };
+    for (const auto& p : processes_) check(p->transport());
+    for (const auto& s : servers_) check(s->transport());
   }
 
   /// Arm (or disarm) "crash inside the next delivery callback" for client i.

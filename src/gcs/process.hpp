@@ -56,6 +56,11 @@ class Process {
           if (net::is_server_node(from)) return;  // unknown server traffic
           endpoint_->on_co_rfifo_deliver(net::process_of(from), payload);
         });
+    // Defer the end-point's driver loop across a batched frame: one pump per
+    // frame instead of one per message (DESIGN.md §11).
+    transport_->set_batch_hooks(
+        [this]() { endpoint_->begin_delivery_batch(); },
+        [this]() { endpoint_->end_delivery_batch(); });
     transport_->set_raw_handler(
         [this](net::NodeId from, const std::any& payload) {
           membership_->handle(from, payload);

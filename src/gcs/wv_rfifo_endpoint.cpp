@@ -128,6 +128,12 @@ bool WvRfifoEndpoint::on_co_rfifo_deliver(ProcessId from,
 // --------------------------------------------------------------------------
 
 void WvRfifoEndpoint::pump() {
+  if (batch_depth_ > 0) {
+    // Mid-frame: absorb the rest of the batch first; end_delivery_batch()
+    // runs the deferred pump once.
+    pump_deferred_ = true;
+    return;
+  }
   if (pumping_) {
     // Re-entrant call (a client callback sent a message mid-delivery): let
     // the outer loop pick up the new work.

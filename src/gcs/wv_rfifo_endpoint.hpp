@@ -60,6 +60,18 @@ class WvRfifoEndpoint : public membership::Listener {
   /// payload was a GCS wire message (consumed).
   bool on_co_rfifo_deliver(ProcessId from, const std::any& payload);
 
+  /// Batch-aware delivery (CoRfifoTransport::set_batch_hooks): between begin
+  /// and end the driver loop is deferred, so a multi-entry frame is absorbed
+  /// with one pump instead of one per message. Calls nest and must balance.
+  void begin_delivery_batch() { ++batch_depth_; }
+  void end_delivery_batch() {
+    if (batch_depth_ > 0) --batch_depth_;
+    if (batch_depth_ == 0 && pump_deferred_) {
+      pump_deferred_ = false;
+      pump();
+    }
+  }
+
   // membership::Listener
   void on_start_change(StartChangeId cid,
                        const std::set<ProcessId>& set) override;
@@ -183,6 +195,8 @@ class WvRfifoEndpoint : public membership::Listener {
 
   bool pumping_ = false;
   bool pump_again_ = false;
+  int batch_depth_ = 0;
+  bool pump_deferred_ = false;
 };
 
 }  // namespace vsgc::gcs

@@ -40,7 +40,8 @@ bool getenv_exempt(std::string_view path) {
 }
 
 bool is_wire_header(std::string_view path) {
-  return path == "src/gcs/messages.hpp" || path == "src/membership/wire.hpp";
+  return path == "src/gcs/messages.hpp" || path == "src/membership/wire.hpp" ||
+         path == "src/transport/frame.hpp";
 }
 
 bool is_id(const Toks& t, std::size_t i, std::string_view s) {

@@ -207,6 +207,7 @@ RunResult run_scenario(const ScenarioConfig& sc, RecordingController& ctl) {
     }
     w.client(0).send("mc-probe");
     w.run_for(3 * sim::kSecond);
+    w.check_transport_bounded();
     w.checkers().finalize();
     if (!spec::LivenessChecker::check(w.trace().recorded())) {
       throw InvariantViolation(

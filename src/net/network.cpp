@@ -20,6 +20,9 @@ void Network::send(NodeId from, NodeId to, Payload payload,
                    std::size_t wire_size) {
   ++stats_.packets_sent;
   stats_.bytes_sent += wire_size;
+  if (wire_size > stats_.max_packet_bytes) {
+    stats_.max_packet_bytes = wire_size;
+  }
 
   // Loss: an Rng draw normally; an explicit binary choice point under a
   // NondetSource. Short-circuit order matches the uncontrolled path so no

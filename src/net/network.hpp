@@ -72,6 +72,9 @@ class Network {
     std::uint64_t packets_delivered = 0;
     std::uint64_t packets_dropped = 0;
     std::uint64_t bytes_sent = 0;
+    /// Largest single datagram seen (frame-aware: batched transport frames
+    /// make this grow with batch size, a direct MTU-pressure signal).
+    std::uint64_t max_packet_bytes = 0;
   };
 
   using Handler = std::function<void(NodeId from, const std::any& payload)>;

@@ -1,0 +1,37 @@
+// Transport data-plane metrics (DESIGN.md §11): fold one CoRfifoTransport's
+// frame/window stats into a Registry.
+//
+// Header-only on purpose: vsgc_obs does not link against vsgc_transport, but
+// every consumer of this header (benches, tools, tests) already does.
+//
+//   xport.frame.*  — wire-frame economics: frames vs entries (batch density),
+//                    piggybacked vs standalone acks, retransmissions, bytes.
+//   xport.window.* — flow-control health: credit stalls, receive-window
+//                    drops, and the peak queue depths the checker bounds.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "transport/co_rfifo.hpp"
+
+namespace vsgc::obs {
+
+inline void record_xport_stats(Registry& reg, const Labels& labels,
+                               const transport::CoRfifoTransport::Stats& s) {
+  reg.counter("xport.frame.frames_sent", labels).inc(s.frames_sent);
+  reg.counter("xport.frame.entries_sent", labels).inc(s.entries_sent);
+  reg.counter("xport.frame.acks_sent", labels).inc(s.acks_sent);
+  reg.counter("xport.frame.acks_piggybacked", labels)
+      .inc(s.acks_piggybacked);
+  reg.counter("xport.frame.retransmissions", labels).inc(s.retransmissions);
+  reg.counter("xport.frame.bytes_sent", labels).inc(s.bytes_sent);
+  reg.counter("xport.window.stalls", labels).inc(s.window_stalls);
+  reg.counter("xport.window.ooo_dropped", labels).inc(s.ooo_dropped);
+  reg.gauge("xport.window.peak_unacked", labels)
+      .max_of(static_cast<std::int64_t>(s.peak_unacked));
+  reg.gauge("xport.window.peak_out_of_order", labels)
+      .max_of(static_cast<std::int64_t>(s.peak_out_of_order));
+  reg.gauge("xport.window.peak_pending", labels)
+      .max_of(static_cast<std::int64_t>(s.peak_pending));
+}
+
+}  // namespace vsgc::obs

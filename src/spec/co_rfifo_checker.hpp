@@ -68,6 +68,24 @@ class CoRfifoChecker {
     ch.next_to_deliver = i + 1;
   }
 
+  /// Flow-control safety (DESIGN.md §11): the credit window bounds the
+  /// sender's unacked queue and the receive window bounds the reorder
+  /// buffer. Called with a transport's peak stats after a run — any
+  /// excursion past the configured windows is a checker violation.
+  static void check_bounded(net::NodeId at, std::uint64_t peak_unacked,
+                            std::uint64_t send_window,
+                            std::uint64_t peak_out_of_order,
+                            std::uint64_t recv_window) {
+    VSGC_REQUIRE(peak_unacked <= send_window,
+                 "CO_RFIFO: unacked queue at " << net::to_string(at)
+                     << " peaked at " << peak_unacked
+                     << ", exceeding the credit window " << send_window);
+    VSGC_REQUIRE(peak_out_of_order <= recv_window,
+                 "CO_RFIFO: out-of-order buffer at " << net::to_string(at)
+                     << " peaked at " << peak_out_of_order
+                     << ", exceeding the receive window " << recv_window);
+  }
+
  private:
   struct Entry {
     std::uint64_t uid;

@@ -5,6 +5,22 @@
 
 namespace vsgc::transport {
 
+namespace {
+
+std::size_t frame_wire_size(const Frame& f) {
+  std::size_t bytes = wire::kFrameHeaderBytes;
+  for (const FrameEntry& e : f.entries) {
+    bytes += e.payload_size + wire::kFrameEntryBytes;
+  }
+  return bytes;
+}
+
+void track_peak(std::uint64_t& peak, std::size_t size) {
+  if (size > peak) peak = size;
+}
+
+}  // namespace
+
 CoRfifoTransport::CoRfifoTransport(sim::Simulator& sim, net::Network& network,
                                    net::NodeId self, Config config)
     : sim_(sim), network_(network), self_(self), config_(config) {
@@ -30,8 +46,9 @@ void CoRfifoTransport::send(const std::set<net::NodeId>& dests,
     ++stats_.messages_sent;
     if (q == self_) {
       // Local loopback: still asynchronous (one scheduler hop), still FIFO.
-      // Byte accounting matches a remote send (payload + header) so sync
-      // traffic tables don't under-count self-addressed copies.
+      // Byte accounting matches a remote single-entry frame (payload + frame
+      // header + entry header) so sync traffic tables don't under-count
+      // self-addressed copies.
       stats_.bytes_sent += payload_size + kPacketHeaderBytes;
       sim_.schedule(1, [this, payload]() {
         if (crashed_ || !deliver_) {
@@ -46,50 +63,134 @@ void CoRfifoTransport::send(const std::set<net::NodeId>& dests,
       continue;
     }
     auto& out = outgoing_[q];
-    if (out.incarnation == 0) out.incarnation = fresh_incarnation();
-    Packet pkt;
-    pkt.incarnation = out.incarnation;
-    pkt.seq = out.next_seq++;
-    pkt.first_seq = out.acked + 1;
-    pkt.payload = payload;
-    pkt.payload_size = payload_size;
-    out.unacked.push_back(pkt);
-    transmit(q, pkt);
-    arm_retransmit(q);
+    out.pending.push_back(FrameEntry{0, payload, payload_size});
+    track_peak(stats_.peak_pending, out.pending.size());
+    if (config_.batching) {
+      schedule_flush(q);
+    } else {
+      flush(q);
+    }
   }
 }
 
-void CoRfifoTransport::transmit(net::NodeId to, const Packet& pkt) {
-  stats_.bytes_sent += pkt.payload_size + kPacketHeaderBytes;
-  // Wrapping the Packet costs one allocation; the payload bytes inside it are
-  // shared by refcount with the unacked buffer, never copied.
-  network_.send(self_, to, net::Payload(pkt),
-                pkt.payload_size + kPacketHeaderBytes);
+void CoRfifoTransport::schedule_flush(net::NodeId to) {
+  auto& out = outgoing_[to];
+  if (out.flush_timer.pending()) return;
+  out.flush_timer = sim_.schedule(config_.flush_window, [this, to]() {
+    if (crashed_) return;
+    flush(to);
+  });
+}
+
+void CoRfifoTransport::flush(net::NodeId to) {
+  auto it = outgoing_.find(to);
+  if (it == outgoing_.end()) return;
+  auto& out = it->second;
+  out.flush_timer.cancel();
+  const std::size_t cap = config_.batching ? config_.max_batch : 1;
+  while (!out.pending.empty()) {
+    if (out.unacked.size() >= config_.send_window) {
+      // Zero credits: the entries stay queued until an ack frees window
+      // space (handle_ack re-enters flush), bounding `unacked` per peer.
+      ++stats_.window_stalls;
+      break;
+    }
+    if (out.incarnation == 0) out.incarnation = fresh_incarnation();
+    Frame f;
+    f.header.incarnation = out.incarnation;
+    f.header.first_seq = out.acked + 1;
+    f.header.base_seq = out.next_seq;
+    const std::size_t room = config_.send_window - out.unacked.size();
+    std::size_t take = out.pending.size();
+    if (take > cap) take = cap;
+    if (take > room) take = room;
+    f.entries.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      FrameEntry e = std::move(out.pending.front());
+      out.pending.pop_front();
+      e.seq = out.next_seq++;
+      out.unacked.push_back(e);  // payload shared by refcount, not copied
+      f.entries.push_back(std::move(e));
+    }
+    track_peak(stats_.peak_unacked, out.unacked.size());
+    attach_piggyback(to, f);
+    transmit_frame(to, std::move(f));
+    arm_retransmit(to);
+  }
+}
+
+void CoRfifoTransport::attach_piggyback(net::NodeId to, Frame& frame) {
+  if (!config_.batching) return;
+  auto it = incoming_.find(to);
+  if (it == incoming_.end() || it->second.incarnation == 0) return;
+  auto& in = it->second;
+  // The ack fields are part of the fixed frame header, so carrying the
+  // latest cumulative ack on every data frame is free.
+  frame.header.flags |= wire::kFlagHasAck;
+  frame.header.ack_incarnation = in.incarnation;
+  frame.header.ack_seq = in.next_expected - 1;
+  if (in.ack_due) {
+    // This frame replaces a standalone ack that would otherwise go out.
+    ++stats_.acks_piggybacked;
+    in.ack_due = false;
+    in.ack_timer.cancel();
+  }
+}
+
+void CoRfifoTransport::transmit_frame(net::NodeId to, Frame frame) {
+  frame.header.count = static_cast<std::uint32_t>(frame.entries.size());
+  const std::size_t bytes = frame_wire_size(frame);
+  stats_.bytes_sent += bytes;
+  ++stats_.frames_sent;
+  stats_.entries_sent += frame.entries.size();
+  // Wrapping the Frame costs one allocation; the payload bytes inside its
+  // entries are shared by refcount with the unacked buffer, never copied.
+  network_.send(self_, to, net::Payload(std::move(frame)), bytes);
 }
 
 void CoRfifoTransport::arm_retransmit(net::NodeId to) {
   auto& out = outgoing_[to];
+  if (out.unacked.empty()) return;
   if (out.retransmit_timer.pending()) return;
   out.retransmit_timer =
-      sim_.schedule(config_.retransmit_timeout, [this, to]() {
+      sim_.schedule(config_.retransmit_timeout * out.backoff, [this, to]() {
         if (crashed_) return;
         auto it = outgoing_.find(to);
         if (it == outgoing_.end()) return;
         auto& out = it->second;
         if (out.unacked.empty()) return;
         if (!reliable_set_.contains(to)) return;  // abandoned connection
-        std::size_t sent = 0;
-        std::uint64_t resent = 0;
-        for (Packet& pkt : out.unacked) {
-          if (sent++ >= config_.retransmit_batch) break;
-          pkt.first_seq = out.acked + 1;  // refresh prefix availability
-          ++stats_.retransmissions;
-          ++resent;
-          transmit(to, pkt);
+        const std::size_t cap = config_.batching ? config_.max_batch : 1;
+        std::size_t budget = out.unacked.size();
+        if (budget > config_.retransmit_batch) budget = config_.retransmit_batch;
+        std::size_t i = 0;
+        while (i < budget) {
+          Frame f;
+          f.header.incarnation = out.incarnation;
+          f.header.first_seq = out.acked + 1;
+          f.header.base_seq = out.unacked[i].seq;
+          std::size_t take = budget - i;
+          if (take > cap) take = cap;
+          f.entries.reserve(take);
+          for (std::size_t k = 0; k < take; ++k) {
+            f.entries.push_back(out.unacked[i + k]);
+          }
+          i += take;
+          stats_.retransmissions += take;
+          attach_piggyback(to, f);
+          transmit_frame(to, std::move(f));
         }
-        if (resent > 0 && trace_ != nullptr && trace_->lifecycle()) {
+        if (budget > 0 && trace_ != nullptr && trace_->lifecycle()) {
           trace_->emit(sim_.now(),
-                       spec::XportRetransmit{self_.value, to.value, resent});
+                       spec::XportRetransmit{self_.value, to.value, budget});
+        }
+        // No ack progress since the last fire: back off (capped) so a long
+        // partition degenerates to a slow probe, not a duplicate storm.
+        if (out.backoff < config_.backoff_limit) {
+          out.backoff *= 2;
+          if (out.backoff > config_.backoff_limit) {
+            out.backoff = config_.backoff_limit;
+          }
         }
         arm_retransmit(to);
       });
@@ -101,11 +202,14 @@ void CoRfifoTransport::set_reliable(const std::set<net::NodeId>& set) {
     if (set.contains(q) || !reliable_set_.contains(q)) continue;
     // Peer dropped from the reliable set: abandon the connection. The unacked
     // suffix is lost (Figure 3's lose(p, q)); a later re-add starts fresh.
+    out.pending.clear();
     out.unacked.clear();
+    out.flush_timer.cancel();
     out.retransmit_timer.cancel();
     out.incarnation = 0;  // next send() to q gets a new incarnation
     out.next_seq = 1;
     out.acked = 0;
+    out.backoff = 1;
   }
   reliable_set_ = set;
   reliable_set_.insert(self_);
@@ -113,114 +217,203 @@ void CoRfifoTransport::set_reliable(const std::set<net::NodeId>& set) {
 
 void CoRfifoTransport::on_packet(net::NodeId from, const std::any& raw) {
   if (crashed_) return;
-  const auto* pkt = std::any_cast<Packet>(&raw);
-  if (pkt == nullptr) {
+  const auto* frame = std::any_cast<Frame>(&raw);
+  if (frame == nullptr) {
     if (raw_) raw_(from, raw);
     return;
   }
-  if (pkt->is_ack) on_ack(from, *pkt);
-  else on_data(from, *pkt);
+  const wire::FrameHeader& h = frame->header;
+  if (h.flags & wire::kFlagReset) {
+    handle_reset(from, h.ack_incarnation);
+    return;
+  }
+  if (h.flags & wire::kFlagHasAck) {
+    handle_ack(from, h.ack_incarnation, h.ack_seq);
+  }
+  if (!frame->entries.empty()) handle_data(from, *frame);
 }
 
-void CoRfifoTransport::on_ack(net::NodeId from, const Packet& pkt) {
+void CoRfifoTransport::handle_ack(net::NodeId from, std::uint64_t incarnation,
+                                  std::uint64_t ack_seq) {
   auto it = outgoing_.find(from);
   if (it == outgoing_.end()) return;
   auto& out = it->second;
-  if (pkt.incarnation != out.incarnation) return;  // stale incarnation
-  if (pkt.is_reset) {
-    // The peer lost this stream's prefix (it crashed and recovered without
-    // stable storage). Start a fresh incarnation, carrying the unacked
-    // suffix over as the new stream's first messages — the acked prefix
-    // belongs to the peer's previous life and is gone by design (Section 8).
-    out.acked = 0;
-    if (out.unacked.empty()) {
-      out.incarnation = 0;  // next send() opens a new stream lazily
-      out.next_seq = 1;
-      out.retransmit_timer.cancel();
-      return;
-    }
-    out.incarnation = fresh_incarnation();
-    std::uint64_t seq = 1;
-    for (Packet& p : out.unacked) {
-      p.incarnation = out.incarnation;
-      p.seq = seq++;
-      p.first_seq = 1;
-      // Re-homing the suffix re-sends packets already transmitted once:
-      // recovery cost, counted like any other retransmission.
-      ++stats_.retransmissions;
-      transmit(from, p);
-    }
-    if (seq > 1 && trace_ != nullptr && trace_->lifecycle()) {
-      trace_->emit(sim_.now(),
-                   spec::XportRetransmit{self_.value, from.value, seq - 1});
-    }
-    out.next_seq = seq;
-    out.retransmit_timer.cancel();
-    arm_retransmit(from);
-    return;
-  }
-  if (pkt.seq <= out.acked) return;
-  out.acked = pkt.seq;
-  while (!out.unacked.empty() && out.unacked.front().seq <= pkt.seq) {
+  if (incarnation != out.incarnation) return;  // stale incarnation
+  if (ack_seq <= out.acked) return;
+  out.acked = ack_seq;
+  while (!out.unacked.empty() && out.unacked.front().seq <= ack_seq) {
     out.unacked.pop_front();
   }
-  if (out.unacked.empty()) out.retransmit_timer.cancel();
+  // Ack progress: the connection is alive again — restart backoff and the
+  // timer from a clean interval.
+  out.backoff = 1;
+  out.retransmit_timer.cancel();
+  arm_retransmit(from);
+  // Freed credits may unblock window-stalled entries.
+  if (!out.pending.empty()) flush(from);
 }
 
-void CoRfifoTransport::on_data(net::NodeId from, const Packet& pkt) {
+void CoRfifoTransport::handle_reset(net::NodeId from,
+                                    std::uint64_t incarnation) {
+  auto it = outgoing_.find(from);
+  if (it == outgoing_.end()) return;
+  auto& out = it->second;
+  if (incarnation != out.incarnation) return;  // stale incarnation
+  // The peer lost this stream's prefix (it crashed and recovered without
+  // stable storage). Start a fresh incarnation, carrying the unacked
+  // suffix over as the new stream's first messages — the acked prefix
+  // belongs to the peer's previous life and is gone by design (Section 8).
+  out.acked = 0;
+  out.retransmit_timer.cancel();
+  out.backoff = 1;
+  if (out.unacked.empty()) {
+    out.incarnation = 0;  // next flush opens a new stream lazily
+    out.next_seq = 1;
+    if (!out.pending.empty()) flush(from);
+    return;
+  }
+  out.incarnation = fresh_incarnation();
+  std::uint64_t seq = 1;
+  for (FrameEntry& e : out.unacked) e.seq = seq++;
+  out.next_seq = seq;
+  const std::size_t cap = config_.batching ? config_.max_batch : 1;
+  const std::size_t total = out.unacked.size();
+  std::size_t i = 0;
+  while (i < total) {
+    Frame f;
+    f.header.incarnation = out.incarnation;
+    f.header.first_seq = 1;
+    f.header.base_seq = out.unacked[i].seq;
+    std::size_t take = total - i;
+    if (take > cap) take = cap;
+    f.entries.reserve(take);
+    for (std::size_t k = 0; k < take; ++k) {
+      f.entries.push_back(out.unacked[i + k]);
+    }
+    i += take;
+    // Re-homing the suffix re-sends entries already transmitted once:
+    // recovery cost, counted like any other retransmission.
+    stats_.retransmissions += take;
+    attach_piggyback(from, f);
+    transmit_frame(from, std::move(f));
+  }
+  if (trace_ != nullptr && trace_->lifecycle()) {
+    trace_->emit(sim_.now(),
+                 spec::XportRetransmit{self_.value, from.value, total});
+  }
+  arm_retransmit(from);
+  if (!out.pending.empty()) flush(from);
+}
+
+void CoRfifoTransport::handle_data(net::NodeId from, const Frame& frame) {
   auto& in = incoming_[from];
-  if (pkt.incarnation < in.incarnation) return;  // stale stream
-  if (pkt.incarnation > in.incarnation) {
-    if (pkt.first_seq > 1) {
+  const wire::FrameHeader& h = frame.header;
+  if (h.incarnation < in.incarnation) return;  // stale stream
+  if (h.incarnation > in.incarnation) {
+    if (h.first_seq > 1) {
       // Mid-stream continuation of an incarnation we have no state for: we
       // crashed and lost the prefix, and the sender can no longer retransmit
       // it (it was acked by our previous life). Ask for a fresh stream.
-      Packet reset;
-      reset.incarnation = pkt.incarnation;
-      reset.seq = 0;
-      reset.is_ack = true;
-      reset.is_reset = true;
+      Frame reset;
+      reset.header.flags = wire::kFlagReset;
+      reset.header.ack_incarnation = h.incarnation;
       ++stats_.acks_sent;
-      stats_.bytes_sent += kPacketHeaderBytes;
-      network_.send(self_, from, net::Payload(std::move(reset)),
-                    kPacketHeaderBytes);
+      transmit_frame(from, std::move(reset));
       return;
     }
     // Fresh connection incarnation from the peer: restart the stream.
-    in.incarnation = pkt.incarnation;
+    in.incarnation = h.incarnation;
     in.next_expected = 1;
     in.out_of_order.clear();
   }
 
-  if (pkt.seq < in.next_expected) {
-    ++stats_.duplicates_dropped;
-  } else {
-    in.out_of_order.emplace(pkt.seq, pkt);  // no-op if already buffered
-    while (true) {
-      auto next = in.out_of_order.find(in.next_expected);
-      if (next == in.out_of_order.end()) break;
+  // Classify-and-deliver in one pass, bracketed by the batch hooks so
+  // endpoints can absorb a whole frame before pumping once. The common case
+  // — fully in-order traffic with an empty reorder buffer — delivers
+  // straight from the frame and never touches the out_of_order map (no node
+  // allocation per message); only genuinely reordered entries are buffered.
+  if (deliver_begin_) deliver_begin_();
+  for (std::size_t i = 0; i < frame.entries.size() && !crashed_; ++i) {
+    const std::uint64_t seq = h.base_seq + i;
+    if (seq < in.next_expected) {
+      ++stats_.duplicates_dropped;
+    } else if (seq >= in.next_expected + config_.recv_window) {
+      // Beyond the receive window: drop instead of buffering, so a
+      // reordering adversary (or a sender predating the credit window)
+      // cannot grow this map without bound. The sender retransmits once
+      // the cumulative ack catches up.
+      ++stats_.ooo_dropped;
+    } else if (seq == in.next_expected && in.out_of_order.empty()) {
       ++stats_.messages_delivered;
       ++in.next_expected;
-      Packet ready = std::move(next->second);
-      in.out_of_order.erase(next);
-      if (deliver_) deliver_(from, ready.payload.any());
-      if (crashed_) return;  // delivery handler may have crashed us
+      if (deliver_) deliver_(from, frame.entries[i].payload.any());
+      // delivery handler may have crashed us: loop condition re-checks
+    } else {
+      in.out_of_order.emplace(seq, frame.entries[i]);  // no-op if buffered
+      track_peak(stats_.peak_out_of_order, in.out_of_order.size());
     }
   }
+  // Drain entries this frame made contiguous with earlier reordered ones.
+  while (!crashed_) {
+    auto next = in.out_of_order.find(in.next_expected);
+    if (next == in.out_of_order.end()) break;
+    ++stats_.messages_delivered;
+    ++in.next_expected;
+    FrameEntry ready = std::move(next->second);
+    in.out_of_order.erase(next);
+    if (deliver_) deliver_(from, ready.payload.any());
+  }
+  if (deliver_end_) deliver_end_();
+  // The end hook (endpoint pump → app) may also have crashed us; `in` is
+  // dangling after crash() clears incoming_, so re-resolve before acking.
+  if (crashed_) return;
+  auto it = incoming_.find(from);
+  if (it == incoming_.end()) return;
+  auto& in2 = it->second;
 
-  // Cumulative ack for everything contiguously received.
-  Packet ack;
-  ack.incarnation = in.incarnation;
-  ack.seq = in.next_expected - 1;
-  ack.is_ack = true;
+  in2.ack_due = true;
+  if (!config_.batching) {
+    // Legacy behavior: one standalone cumulative ack per data frame.
+    send_standalone_ack(from);
+    return;
+  }
+  schedule_ack(from);
+}
+
+void CoRfifoTransport::schedule_ack(net::NodeId from) {
+  auto& in = incoming_[from];
+  if (in.ack_timer.pending()) return;
+  in.ack_timer = sim_.schedule(config_.ack_delay, [this, from]() {
+    if (crashed_) return;
+    auto it = incoming_.find(from);
+    if (it == incoming_.end()) return;
+    if (!it->second.ack_due) return;  // a piggyback beat us to it
+    send_standalone_ack(from);
+  });
+}
+
+void CoRfifoTransport::send_standalone_ack(net::NodeId to) {
+  auto it = incoming_.find(to);
+  if (it == incoming_.end()) return;
+  auto& in = it->second;
+  Frame ack;
+  ack.header.flags = wire::kFlagHasAck;
+  ack.header.ack_incarnation = in.incarnation;
+  ack.header.ack_seq = in.next_expected - 1;
+  in.ack_due = false;
   ++stats_.acks_sent;
-  stats_.bytes_sent += kPacketHeaderBytes;
-  network_.send(self_, from, net::Payload(std::move(ack)), kPacketHeaderBytes);
+  // A standalone ack is a header-only frame: kFrameHeaderBytes on the wire
+  // (honest accounting — it carries no entry, so no per-entry cost).
+  transmit_frame(to, std::move(ack));
 }
 
 void CoRfifoTransport::crash() {
   crashed_ = true;
-  for (auto& [q, out] : outgoing_) out.retransmit_timer.cancel();
+  for (auto& [q, out] : outgoing_) {
+    out.flush_timer.cancel();
+    out.retransmit_timer.cancel();
+  }
+  for (auto& [q, in] : incoming_) in.ack_timer.cancel();
   outgoing_.clear();
   incoming_.clear();
   reliable_set_ = {self_};

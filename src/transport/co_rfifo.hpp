@@ -20,6 +20,14 @@
 //   * crash()/recover(): Section 8 semantics — a crash wipes all transport
 //     state; recovery starts new incarnations everywhere.
 //
+// Data plane (DESIGN.md §11): messages to the same peer coalesce into
+// multi-entry wire::Frame batches inside a configurable flush window; data
+// frames piggyback the reverse stream's cumulative ack (suppressing most
+// standalone ack frames); a per-peer credit window bounds `unacked`, a
+// receive window bounds `out_of_order`, and the retransmit timer backs off
+// exponentially (reset on ack progress) so partitions don't cause duplicate
+// storms.
+//
 // The `live_set` of the spec models real network connectivity; in this
 // implementation that role is played by the vsgc::net::Network fault state,
 // and the spec checker (src/spec/co_rfifo_spec) tracks it from trace events.
@@ -37,46 +45,83 @@
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
 #include "spec/events.hpp"
+#include "transport/frame.hpp"
 #include "util/ids.hpp"
 
 namespace vsgc::transport {
 
-/// Wire-level packet exchanged between transports (data or cumulative ack).
-struct Packet {
-  std::uint64_t incarnation = 0;  ///< sender connection incarnation
-  std::uint64_t seq = 0;          ///< data: message seq; ack: cumulative seq
-  std::uint64_t first_seq = 1;    ///< data: lowest seq still retransmittable
-  bool is_ack = false;
-  bool is_reset = false;  ///< ack only: "I lost this stream's prefix — start
-                          ///< a fresh incarnation" (receiver crash recovery)
-  net::Payload payload;           ///< empty for acks; refcounted — copying a
-                                  ///< Packet never copies the payload bytes
-  std::size_t payload_size = 0;   ///< serialized payload size (accounting)
+/// One batched entry travelling inside a Frame: the refcounted payload handle
+/// plus its modeled serialized size. Sequence numbers are implicit — entry i
+/// of a frame carries header.base_seq + i.
+struct FrameEntry {
+  std::uint64_t seq = 0;  ///< explicit in sender-side buffers for ack trims
+  net::Payload payload;   ///< refcounted — copying an entry never copies bytes
+  std::size_t payload_size = 0;
 };
 
-/// Fixed per-packet header cost used for byte accounting (incarnation, seq,
-/// flags, addressing) — roughly a UDP-borne protocol header.
-constexpr std::size_t kPacketHeaderBytes = 24;
+/// The in-simulator frame: a wire::FrameHeader plus structured entries (the
+/// byte-level twin, wire::EncodedFrame, is what the codec tests exercise).
+struct Frame {
+  wire::FrameHeader header{};
+  std::vector<FrameEntry> entries{};
+};
+
+/// Per-packet overhead of a single-entry frame (one frame header + one entry
+/// header). Loopback accounting and legacy single-message byte expectations
+/// are stated in terms of this constant.
+constexpr std::size_t kPacketHeaderBytes =
+    wire::kFrameHeaderBytes + wire::kFrameEntryBytes;
 
 class CoRfifoTransport {
  public:
   struct Config {
     sim::Time retransmit_timeout = 20 * sim::kMillisecond;
-    std::size_t retransmit_batch = 64;  ///< packets re-sent per timer fire
+    std::size_t retransmit_batch = 64;  ///< entries re-sent per timer fire
+    /// Max retransmit-interval multiplier for exponential backoff (interval =
+    /// retransmit_timeout * min(2^k, backoff_limit); 1 = fixed interval).
+    std::uint32_t backoff_limit = 8;
+    /// Sender-side packing: batch same-destination sends inside flush_window
+    /// into one frame, and piggyback/delay acks. When false the transport
+    /// degenerates to one frame per message with immediate standalone acks.
+    bool batching = true;
+    /// How long a message may wait for companions before its frame flushes.
+    /// 0 still batches: all sends to one peer at the same sim instant share a
+    /// frame (the flush fires as a zero-delay event after the current event).
+    sim::Time flush_window = 0;
+    std::size_t max_batch = 64;  ///< max entries per data frame
+    /// How long a received data frame may wait for a reverse-direction data
+    /// frame to piggyback its ack before a standalone ack frame goes out.
+    sim::Time ack_delay = 0;
+    /// Credit window: max unacked entries per peer. Further sends queue in
+    /// `pending` until acks return credits.
+    std::size_t send_window = 256;
+    /// Receive window: out-of-order entries at or beyond next_expected +
+    /// recv_window are dropped (counted in ooo_dropped), bounding the
+    /// reorder buffer against adversarial or badly reordered traffic.
+    std::size_t recv_window = 256;
   };
 
   struct Stats {
     std::uint64_t messages_sent = 0;  ///< upper-layer sends (per destination)
     std::uint64_t messages_delivered = 0;
     std::uint64_t retransmissions = 0;  ///< timer re-sends + reset re-homing
-    std::uint64_t acks_sent = 0;
+    std::uint64_t acks_sent = 0;        ///< standalone ack/reset frames
+    std::uint64_t acks_piggybacked = 0; ///< due acks carried by data frames
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t loopbacks_dropped = 0;  ///< self-sends lost to our crash
     std::uint64_t bytes_sent = 0;  ///< includes loopback payload + header
+    std::uint64_t frames_sent = 0;   ///< wire frames (data, ack, reset)
+    std::uint64_t entries_sent = 0;  ///< data entries across all frames
+    std::uint64_t ooo_dropped = 0;   ///< entries beyond the receive window
+    std::uint64_t window_stalls = 0; ///< flushes blocked on zero credits
+    std::uint64_t peak_unacked = 0;        ///< max unacked entries, any peer
+    std::uint64_t peak_out_of_order = 0;   ///< max reorder buffer, any peer
+    std::uint64_t peak_pending = 0;        ///< max credit-stalled queue
   };
 
   using DeliverFn =
       std::function<void(net::NodeId from, const std::any& payload)>;
+  using BatchHookFn = std::function<void()>;
 
   CoRfifoTransport(sim::Simulator& sim, net::Network& network,
                    net::NodeId self, Config config);
@@ -91,7 +136,16 @@ class CoRfifoTransport {
   /// Register the upper-layer delivery handler (gap-free FIFO per sender).
   void set_deliver_handler(DeliverFn fn) { deliver_ = std::move(fn); }
 
-  /// Raw datagram side-channel: non-Packet payloads arriving at this node
+  /// Batch-aware delivery bracket: `begin` fires before the in-order drain of
+  /// a multi-entry frame, `end` after it. Endpoints use this to defer their
+  /// pump until the whole batch has been absorbed (one pump per frame rather
+  /// than one per message).
+  void set_batch_hooks(BatchHookFn begin, BatchHookFn end) {
+    deliver_begin_ = std::move(begin);
+    deliver_end_ = std::move(end);
+  }
+
+  /// Raw datagram side-channel: non-Frame payloads arriving at this node
   /// (e.g. failure-detector heartbeats) bypass the reliable machinery.
   void set_raw_handler(DeliverFn fn) { raw_ = std::move(fn); }
 
@@ -122,6 +176,7 @@ class CoRfifoTransport {
   bool crashed() const { return crashed_; }
 
   const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
   net::NodeId self() const { return self_; }
 
   /// Optional span instrumentation (DESIGN.md §10): when set AND the bus has
@@ -134,20 +189,32 @@ class CoRfifoTransport {
     std::uint64_t incarnation = 0;
     std::uint64_t next_seq = 1;  ///< seq for the next new message
     std::uint64_t acked = 0;     ///< highest cumulatively acked seq
-    std::deque<Packet> unacked;
+    std::deque<FrameEntry> pending;  ///< sent by app, not yet framed (no seq)
+    std::deque<FrameEntry> unacked;  ///< framed and in flight / retransmittable
+    sim::TimerHandle flush_timer;
     sim::TimerHandle retransmit_timer;
+    std::uint32_t backoff = 1;  ///< current retransmit-interval multiplier
   };
 
   struct Incoming {
     std::uint64_t incarnation = 0;
     std::uint64_t next_expected = 1;
-    std::map<std::uint64_t, Packet> out_of_order;
+    std::map<std::uint64_t, FrameEntry> out_of_order;  ///< bounded: recv_window
+    bool ack_due = false;  ///< received data not yet acked (any frame kind)
+    sim::TimerHandle ack_timer;
   };
 
   void on_packet(net::NodeId from, const std::any& raw);
-  void on_data(net::NodeId from, const Packet& pkt);
-  void on_ack(net::NodeId from, const Packet& pkt);
-  void transmit(net::NodeId to, const Packet& pkt);
+  void handle_data(net::NodeId from, const Frame& frame);
+  void handle_ack(net::NodeId from, std::uint64_t incarnation,
+                  std::uint64_t ack_seq);
+  void handle_reset(net::NodeId from, std::uint64_t incarnation);
+  void flush(net::NodeId to);
+  void schedule_flush(net::NodeId to);
+  void attach_piggyback(net::NodeId to, Frame& frame);
+  void transmit_frame(net::NodeId to, Frame frame);
+  void send_standalone_ack(net::NodeId to);
+  void schedule_ack(net::NodeId from);
   void arm_retransmit(net::NodeId to);
   std::uint64_t fresh_incarnation();
 
@@ -158,6 +225,8 @@ class CoRfifoTransport {
   Stats stats_;
   DeliverFn deliver_;
   DeliverFn raw_;
+  BatchHookFn deliver_begin_;
+  BatchHookFn deliver_end_;
   spec::TraceBus* trace_ = nullptr;
 
   std::set<net::NodeId> reliable_set_;

@@ -38,6 +38,13 @@ class Encoder {
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
+  /// Length-prefixed raw byte blob (u32 length + bytes).
+  void put_bytes(const std::vector<std::uint8_t>& b) {
+    reserve(4 + b.size());
+    put_u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
   void put_process(ProcessId p) { put_u32(p.value); }
   void put_start_change_id(StartChangeId c) { put_u64(c.value); }
 
@@ -107,6 +114,17 @@ class Decoder {
     std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
     pos_ += n;
     return s;
+  }
+
+  /// Length-prefixed raw byte blob; the length is bounds-checked via need()
+  /// before any read, so a forged length fails cleanly.
+  std::vector<std::uint8_t> get_bytes() {
+    const std::uint32_t n = get_u32();
+    need(n);
+    std::vector<std::uint8_t> b(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
   }
 
   ProcessId get_process() { return ProcessId{get_u32()}; }

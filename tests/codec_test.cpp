@@ -5,6 +5,7 @@
 #include "baseline/two_round_endpoint.hpp"
 #include "gcs/messages.hpp"
 #include "membership/wire.hpp"
+#include "transport/frame.hpp"
 #include "util/rng.hpp"
 
 namespace vsgc {
@@ -168,6 +169,109 @@ TEST(Codec, EncoderReserveNeverChangesEncoding) {
     EXPECT_EQ(dec.get_view_id(), v.id);
     EXPECT_EQ(dec.get_process_set(), v.members);
     EXPECT_EQ(dec.get_string(), s);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Transport frame codec (DESIGN.md §11): packed-frame round-trips and
+// adversarial truncated / forged-count inputs. Decoding must fail cleanly
+// via Decoder::need() (DecodeError), never read out of bounds, and never let
+// a forged entry count drive an unbounded allocation.
+// --------------------------------------------------------------------------
+
+transport::wire::EncodedFrame random_frame(Rng& rng, std::size_t entries) {
+  transport::wire::EncodedFrame f;
+  f.header.flags = static_cast<std::uint8_t>(rng.next_below(4));
+  f.header.incarnation = rng.next_u64();
+  f.header.first_seq = 1 + rng.next_u64() % 1000;
+  f.header.base_seq = f.header.first_seq + rng.next_u64() % 100;
+  f.header.ack_incarnation = rng.next_u64();
+  f.header.ack_seq = rng.next_u64() % 5000;
+  for (std::size_t i = 0; i < entries; ++i) {
+    std::vector<std::uint8_t> p(rng.next_below(48));
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.next_below(256));
+    f.payloads.push_back(std::move(p));
+  }
+  return f;
+}
+
+TEST(FrameCodec, PackedFrameRoundTrip) {
+  Rng rng(11);
+  for (std::size_t entries : {0u, 1u, 2u, 7u, 64u}) {
+    const auto f = random_frame(rng, entries);
+    Encoder enc;
+    f.encode(enc);
+    Decoder dec(enc.bytes());
+    const auto back = transport::wire::EncodedFrame::decode(dec);
+    EXPECT_EQ(back.payloads, f.payloads);
+    EXPECT_EQ(back.header.incarnation, f.header.incarnation);
+    EXPECT_EQ(back.header.base_seq, f.header.base_seq);
+    EXPECT_EQ(back.header.ack_seq, f.header.ack_seq);
+    EXPECT_EQ(back.header.count, entries);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(FrameCodec, HeaderOnlyAckFrameRoundTrip) {
+  transport::wire::EncodedFrame ack;
+  ack.header.flags = transport::wire::kFlagHasAck;
+  ack.header.ack_incarnation = 7;
+  ack.header.ack_seq = 41;
+  Encoder enc;
+  ack.encode(enc);
+  Decoder dec(enc.bytes());
+  const auto back = transport::wire::EncodedFrame::decode(dec);
+  EXPECT_EQ(back, ack);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(FrameCodec, EveryTruncationFailsCleanly) {
+  Rng rng(12);
+  const auto f = random_frame(rng, 5);
+  Encoder enc;
+  f.encode(enc);
+  const std::vector<std::uint8_t>& full = enc.bytes();
+  // Any strict prefix is missing header bytes, a length prefix, or payload
+  // bytes: decode must throw DecodeError, never read past the buffer.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(full.begin(),
+                                           full.begin() + static_cast<std::ptrdiff_t>(cut));
+    Decoder dec(prefix);
+    EXPECT_THROW(transport::wire::EncodedFrame::decode(dec), DecodeError)
+        << "prefix of " << cut << " bytes decoded without error";
+  }
+}
+
+TEST(FrameCodec, OversizedEntryCountIsRejected) {
+  transport::wire::FrameHeader h;
+  h.count = static_cast<std::uint32_t>(transport::wire::kMaxFrameEntries + 1);
+  Encoder enc;
+  h.encode(enc);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(transport::wire::EncodedFrame::decode(dec), DecodeError);
+}
+
+TEST(FrameCodec, ForgedCountWithNoPayloadBytesFailsWithoutHugeAlloc) {
+  // count claims the maximum but no payload bytes follow: the reserve is
+  // clamped by the bytes actually remaining, and decode fails at entry 0.
+  transport::wire::FrameHeader h;
+  h.count = static_cast<std::uint32_t>(transport::wire::kMaxFrameEntries);
+  Encoder enc;
+  h.encode(enc);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(transport::wire::EncodedFrame::decode(dec), DecodeError);
+}
+
+TEST(Codec, BytesBlobRoundTrip) {
+  Rng rng(13);
+  for (std::size_t n : {0u, 1u, 63u, 1024u}) {
+    std::vector<std::uint8_t> blob(n);
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng.next_below(256));
+    Encoder enc;
+    enc.put_bytes(blob);
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.get_bytes(), blob);
     EXPECT_TRUE(dec.done());
   }
 }

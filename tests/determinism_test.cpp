@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "app/world.hpp"
+#include "obs/trace_recorder.hpp"
 
 namespace vsgc {
 namespace {
@@ -49,6 +50,44 @@ TEST(Determinism, SameSeedSameTrace) {
 
 TEST(Determinism, DifferentSeedDifferentSchedule) {
   EXPECT_NE(run_and_fingerprint(42), run_and_fingerprint(43));
+}
+
+std::string run_batched_jsonl(std::uint64_t seed) {
+  // Non-default data-plane settings: a real flush window, delayed acks, and
+  // small windows, so batching, piggybacking, credit stalls, and backoff all
+  // engage — the recorded JSONL (with lifecycle spans) must still be a pure
+  // function of the seed.
+  app::WorldConfig cfg;
+  cfg.num_clients = 3;
+  cfg.seed = seed;
+  cfg.net.jitter = 300;
+  cfg.net.drop_probability = 0.05;
+  cfg.transport.flush_window = 200;  // 200us coalescing window
+  cfg.transport.ack_delay = 200;
+  cfg.transport.send_window = 16;
+  cfg.transport.recv_window = 16;
+  cfg.lifecycle_spans = true;
+  app::World w(cfg);
+  w.start();
+  w.run_until_converged(w.all_members(), 10 * sim::kSecond);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      w.client(i).send("b" + std::to_string(round * 3 + i));
+    }
+    w.run_for(50 * sim::kMillisecond);
+  }
+  w.run_for(2 * sim::kSecond);
+  w.check_transport_bounded();
+  std::ostringstream os;
+  obs::write_jsonl(w.trace().recorded(), os);
+  return os.str();
+}
+
+TEST(Determinism, BatchedDataPlaneTraceIsByteIdentical) {
+  const std::string a = run_batched_jsonl(7);
+  const std::string b = run_batched_jsonl(7);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "batching must not leak nondeterminism into the trace";
 }
 
 }  // namespace

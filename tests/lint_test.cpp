@@ -255,6 +255,18 @@ struct Ping {
   EXPECT_EQ(count_rule(fs, "wire-init"), 0);
 }
 
+TEST(LintWireInit, TransportFrameHeaderIsInScope) {
+  // The frame structs (DESIGN.md §11) are wire types: every member needs an
+  // in-class initializer, exactly like messages.hpp and wire.hpp.
+  const auto fs = run_one("src/transport/frame.hpp",
+                          "#pragma once\n"
+                          "struct FrameHeader {\n"
+                          "  std::uint64_t base_seq;\n"
+                          "};\n");
+  ASSERT_EQ(count_rule(fs, "wire-init"), 1);
+  EXPECT_NE(fs[0].message.find("'base_seq'"), std::string::npos);
+}
+
 TEST(LintWireInit, OnlyWireHeadersAreInScope) {
   const auto fs = run_one("src/gcs/other.hpp",
                           "#pragma once\n"

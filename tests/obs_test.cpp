@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/metrics_collector.hpp"
 #include "obs/trace_recorder.hpp"
+#include "obs/xport_metrics.hpp"
 
 namespace vsgc {
 namespace {
@@ -390,6 +391,41 @@ TEST(BenchArtifact, SchemaAndSimSection) {
                 .find("value")
                 ->as_int(),
             3);
+}
+
+TEST(XportMetrics, RecordsFrameAndWindowStats) {
+  transport::CoRfifoTransport::Stats s;
+  s.frames_sent = 10;
+  s.entries_sent = 64;
+  s.acks_sent = 3;
+  s.acks_piggybacked = 7;
+  s.retransmissions = 2;
+  s.bytes_sent = 4096;
+  s.window_stalls = 1;
+  s.ooo_dropped = 5;
+  s.peak_unacked = 12;
+  s.peak_out_of_order = 4;
+  s.peak_pending = 30;
+
+  obs::Registry reg;
+  const obs::Labels labels = obs::process_labels(1);
+  obs::record_xport_stats(reg, labels, s);
+  EXPECT_EQ(reg.counter("xport.frame.frames_sent", labels).value(), 10u);
+  EXPECT_EQ(reg.counter("xport.frame.entries_sent", labels).value(), 64u);
+  EXPECT_EQ(reg.counter("xport.frame.acks_sent", labels).value(), 3u);
+  EXPECT_EQ(reg.counter("xport.frame.acks_piggybacked", labels).value(), 7u);
+  EXPECT_EQ(reg.counter("xport.window.stalls", labels).value(), 1u);
+  EXPECT_EQ(reg.counter("xport.window.ooo_dropped", labels).value(), 5u);
+  EXPECT_EQ(reg.gauge("xport.window.peak_unacked", labels).value(), 12);
+  EXPECT_EQ(reg.gauge("xport.window.peak_out_of_order", labels).value(), 4);
+  EXPECT_EQ(reg.gauge("xport.window.peak_pending", labels).value(), 30);
+
+  // Gauges fold with max_of: a second, quieter transport cannot shrink them.
+  transport::CoRfifoTransport::Stats quiet;
+  quiet.peak_unacked = 2;
+  obs::record_xport_stats(reg, labels, quiet);
+  EXPECT_EQ(reg.gauge("xport.window.peak_unacked", labels).value(), 12);
+  EXPECT_EQ(reg.counter("xport.frame.frames_sent", labels).value(), 10u);
 }
 
 }  // namespace

@@ -197,14 +197,117 @@ TEST(CoRfifoReset, StaleResetAckIgnored) {
   h.send(1);
   h.sim.run_to_quiescence();
   // Forge a stale reset for an old incarnation: must be ignored.
-  Packet stale;
-  stale.incarnation = 1;  // definitely not the current incarnation
-  stale.is_ack = true;
-  stale.is_reset = true;
-  h.network.send(net::NodeId{2}, net::NodeId{1}, std::any(stale), 24);
+  Frame stale;
+  stale.header.flags = wire::kFlagReset;
+  stale.header.ack_incarnation = 1;  // definitely not the current incarnation
+  h.network.send(net::NodeId{2}, net::NodeId{1}, std::any(stale),
+                 wire::kFrameHeaderBytes);
   h.sim.run_to_quiescence();
   h.send(2);
   h.sim.run_to_quiescence();
+  EXPECT_EQ(h.received, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(CoRfifoFlowControl, ReceiveWindowBoundsOutOfOrderBuffer) {
+  // Regression for the unbounded reorder buffer: the receiver used to emplace
+  // every out-of-window packet into `out_of_order` forever. With recv_window
+  // = 4, a gap at seq 1 plus a burst of later frames may buffer at most 4
+  // entries; the rest are dropped and recovered by retransmission.
+  CoRfifoTransport::Config tcfg;
+  tcfg.max_batch = 1;  // one entry per frame, so individual frames can race
+  tcfg.recv_window = 4;
+  tcfg.retransmit_timeout = 50 * sim::kMillisecond;
+  Pair h({}, 1, tcfg);
+
+  h.network.set_link_up(net::NodeId{1}, net::NodeId{2}, false);
+  h.send(1);  // frame for seq 1 is lost on the downed link
+  h.sim.run_until(h.sim.now() + sim::kMillisecond);
+  h.network.set_link_up(net::NodeId{1}, net::NodeId{2}, true);
+  for (std::uint64_t i = 2; i <= 10; ++i) h.send(i);
+  h.sim.run_to_quiescence();
+
+  const auto& rx_stats = h.b.stats();
+  EXPECT_GE(rx_stats.ooo_dropped, 1u)
+      << "seqs beyond next_expected + recv_window must be dropped";
+  EXPECT_LE(rx_stats.peak_out_of_order, 4u)
+      << "the reorder buffer must never exceed the receive window";
+  EXPECT_EQ(h.received,
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}))
+      << "retransmission must recover everything the window dropped";
+  spec::CoRfifoChecker::check_bounded(
+      net::NodeId{2}, h.b.stats().peak_unacked, tcfg.send_window,
+      rx_stats.peak_out_of_order, tcfg.recv_window);
+}
+
+TEST(CoRfifoFlowControl, CreditWindowBoundsUnackedQueue) {
+  CoRfifoTransport::Config tcfg;
+  tcfg.send_window = 8;
+  Pair h({}, 1, tcfg);
+  h.network.set_node_up(net::NodeId{2}, false);  // no acks will come back
+  for (std::uint64_t i = 1; i <= 50; ++i) h.send(i);
+  h.sim.run_until(h.sim.now() + 500 * sim::kMillisecond);
+
+  const auto& tx = h.a.stats();
+  EXPECT_LE(tx.peak_unacked, 8u)
+      << "sends past the credit window must queue, not enter unacked";
+  EXPECT_GE(tx.window_stalls, 1u);
+  EXPECT_GE(tx.peak_pending, 42u) << "the overflow waits in pending";
+
+  h.network.set_node_up(net::NodeId{2}, true);
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(h.received.size(), 50u) << "credits from acks drain the queue";
+  for (std::uint64_t i = 1; i <= 50; ++i) EXPECT_EQ(h.received[i - 1], i);
+  EXPECT_LE(h.a.stats().peak_unacked, 8u);
+}
+
+TEST(CoRfifoFlowControl, ExponentialBackoffShrinksDuplicateStorms) {
+  // Acks from b to a are severed (one-way outage), so a retransmits the same
+  // message into b forever. With a fixed interval that is a duplicate storm;
+  // with capped exponential backoff the duplicate count shrinks by the
+  // backoff factor. Same topology, same duration — only the policy differs.
+  const auto run = [](std::uint32_t backoff_limit) {
+    CoRfifoTransport::Config tcfg;
+    tcfg.backoff_limit = backoff_limit;
+    Pair h({}, 1, tcfg);
+    h.network.set_oneway_link_up(net::NodeId{2}, net::NodeId{1}, false);
+    h.send(1);
+    h.sim.run_until(h.sim.now() + 4 * sim::kSecond);
+    return std::pair<std::uint64_t, std::uint64_t>{
+        h.a.stats().retransmissions, h.b.stats().duplicates_dropped};
+  };
+  const auto [fixed_retrans, fixed_dups] = run(1);
+  const auto [backoff_retrans, backoff_dups] = run(8);
+
+  EXPECT_GT(fixed_retrans, 100u) << "fixed interval keeps hammering";
+  EXPECT_LT(backoff_retrans * 3, fixed_retrans)
+      << "backoff must cut retransmissions by at least 3x over the outage";
+  EXPECT_LT(backoff_dups * 3, fixed_dups)
+      << "duplicate deliveries at the receiver must shrink accordingly";
+}
+
+TEST(CoRfifoFlowControl, BackoffResetsOnAckProgress) {
+  CoRfifoTransport::Config tcfg;
+  tcfg.backoff_limit = 8;
+  Pair h({}, 1, tcfg);
+  // Phase 1: outage long enough to reach the backoff cap.
+  h.network.set_oneway_link_up(net::NodeId{2}, net::NodeId{1}, false);
+  h.send(1);
+  h.sim.run_until(h.sim.now() + 2 * sim::kSecond);
+  h.network.set_oneway_link_up(net::NodeId{2}, net::NodeId{1}, true);
+  h.sim.run_to_quiescence();
+  const std::uint64_t after_heal = h.a.stats().retransmissions;
+
+  // Phase 2: healthy traffic retransmits promptly again after a single loss —
+  // the first retransmit fires one base interval (not 8x) after the send.
+  h.network.set_link_up(net::NodeId{1}, net::NodeId{2}, false);
+  h.send(2);
+  h.sim.run_until(h.sim.now() + sim::kMillisecond);
+  h.network.set_link_up(net::NodeId{1}, net::NodeId{2}, true);
+  const sim::Time healed_at = h.sim.now();
+  h.sim.run_until(healed_at + tcfg.retransmit_timeout +
+                  10 * sim::kMillisecond);
+  EXPECT_GT(h.a.stats().retransmissions, after_heal)
+      << "after ack progress the timer runs at the base interval again";
   EXPECT_EQ(h.received, (std::vector<std::uint64_t>{1, 2}));
 }
 

@@ -229,6 +229,86 @@ TEST(CoRfifo, LoopbackCountsBytesLikeARemoteSend) {
   EXPECT_EQ(stats.loopbacks_dropped, 0u);
 }
 
+TEST(CoRfifo, BatchingCoalescesSameInstantSends) {
+  // Ten same-instant sends to one peer share a single wire frame: one frame
+  // header amortized over ten entries instead of ten packet headers.
+  Harness h(2);
+  h.set_reliable(0, {1});
+  for (std::uint64_t i = 1; i <= 10; ++i) h.send(0, {1}, i);
+  h.sim.run_to_quiescence();
+  const auto& tx = h.transports[0]->stats();
+  ASSERT_EQ(h.received[1].size(), 10u);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    EXPECT_EQ(h.received[1][i - 1].second, i);
+  }
+  EXPECT_EQ(tx.frames_sent, 1u) << "ten messages must share one frame";
+  EXPECT_EQ(tx.entries_sent, 10u);
+  EXPECT_EQ(tx.bytes_sent,
+            wire::kFrameHeaderBytes + 10 * (8 + wire::kFrameEntryBytes))
+      << "per-frame cost charged once, per-entry cost per message";
+}
+
+TEST(CoRfifo, MaxBatchSplitsLargeBursts) {
+  Harness h(2);
+  h.set_reliable(0, {1});
+  for (std::uint64_t i = 1; i <= 100; ++i) h.send(0, {1}, i);
+  h.sim.run_to_quiescence();
+  ASSERT_EQ(h.received[1].size(), 100u);
+  // Default max_batch = 64: the burst needs exactly two data frames.
+  EXPECT_EQ(h.transports[0]->stats().frames_sent, 2u);
+  EXPECT_EQ(h.transports[0]->stats().entries_sent, 100u);
+}
+
+TEST(CoRfifo, BatchingOffSendsOneFramePerMessage) {
+  sim::Simulator sim;
+  net::Network network(sim, Rng(1), {});
+  CoRfifoTransport::Config tcfg;
+  tcfg.batching = false;
+  CoRfifoTransport a(sim, network, net::NodeId{1}, tcfg);
+  CoRfifoTransport b(sim, network, net::NodeId{2}, tcfg);
+  a.set_reliable({net::NodeId{2}});
+  std::vector<std::uint64_t> rx;
+  b.set_deliver_handler([&rx](net::NodeId, const std::any& payload) {
+    rx.push_back(std::any_cast<std::uint64_t>(payload));
+  });
+  for (std::uint64_t i = 1; i <= 10; ++i) a.send({net::NodeId{2}}, i, 8);
+  sim.run_to_quiescence();
+  ASSERT_EQ(rx.size(), 10u);
+  EXPECT_EQ(a.stats().frames_sent, 10u);
+  EXPECT_EQ(b.stats().acks_sent, 10u) << "legacy mode: one ack per frame";
+  EXPECT_EQ(b.stats().acks_piggybacked, 0u);
+}
+
+TEST(CoRfifo, PiggybackedAckSuppressesStandaloneAck) {
+  // b replies synchronously from its delivery handler, so b's data frame
+  // (flushed in the same sim instant) carries the cumulative ack and the
+  // standalone ack frame never goes out.
+  sim::Simulator sim;
+  net::Network network(sim, Rng(1), {});
+  CoRfifoTransport a(sim, network, net::NodeId{1});
+  CoRfifoTransport b(sim, network, net::NodeId{2});
+  a.set_reliable({net::NodeId{2}});
+  b.set_reliable({net::NodeId{1}});
+  std::vector<std::uint64_t> at_a, at_b;
+  b.set_deliver_handler([&](net::NodeId, const std::any& payload) {
+    const auto uid = std::any_cast<std::uint64_t>(payload);
+    at_b.push_back(uid);
+    b.send({net::NodeId{1}}, uid + 100, 8);
+  });
+  a.set_deliver_handler([&](net::NodeId, const std::any& payload) {
+    at_a.push_back(std::any_cast<std::uint64_t>(payload));
+  });
+  a.send({net::NodeId{2}}, std::uint64_t{1}, 8);
+  sim.run_to_quiescence();
+  EXPECT_EQ(at_b, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(at_a, (std::vector<std::uint64_t>{101}));
+  EXPECT_GE(b.stats().acks_piggybacked, 1u);
+  EXPECT_EQ(b.stats().acks_sent, 0u)
+      << "the reply frame's piggybacked ack replaces the standalone ack";
+  // a has no reverse traffic, so its ack for the reply is standalone.
+  EXPECT_GE(a.stats().acks_sent, 1u);
+}
+
 TEST(CoRfifo, LoopbackAcrossOwnCrashIsACountedDrop) {
   Harness h(1);
   h.send(0, {0}, 1);

@@ -140,6 +140,69 @@ void validate_simperf(const JsonValue& results, Check& c) {
             "simperf needs exactly one sweep_jobs1 and one sweep_hw row");
 }
 
+/// Schema for BENCH_throughput.json: E2 group-size rows (no "case" field)
+/// plus exactly one fanin_batching_off / fanin_batching_on pair. The CI
+/// batching gate reads msgs_per_sec, the byte-overhead columns, and the
+/// on-row's batching_speedup from here, so absence must fail loudly.
+void validate_throughput(const JsonValue& results, Check& c) {
+  std::size_t fanin_off = 0, fanin_on = 0, group_rows = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JsonValue& row = results.at(i);
+    if (!row.is_object()) continue;
+    const std::string at = "results[" + std::to_string(i) + "]";
+    const JsonValue* kase = row.find("case");
+    if (kase == nullptr) {
+      // E2 full-stack row, keyed by group size.
+      ++group_rows;
+      const JsonValue* gs = row.find("group_size");
+      c.require(gs != nullptr && gs->is_int() && gs->as_int() >= 2,
+                at + " missing integer 'group_size' >= 2");
+      const JsonValue* pb = row.find("payload_bytes");
+      c.require(pb != nullptr && pb->is_int() && pb->as_int() > 0,
+                at + " missing positive integer 'payload_bytes'");
+      for (const char* field : {"msgs_per_sec", "avg_latency_ms",
+                                "sender_bytes_per_msg",
+                                "overhead_bytes_per_msg"}) {
+        const JsonValue* v = row.find(field);
+        c.require(v != nullptr && v->is_number() && v->as_double() > 0,
+                  at + " missing positive '" + field + "'");
+      }
+      continue;
+    }
+    c.require(kase->is_string(), at + " 'case' is not a string");
+    if (!kase->is_string()) continue;
+    const std::string name = kase->as_string();
+    if (name == "fanin_batching_off" || name == "fanin_batching_on") {
+      name == "fanin_batching_off" ? ++fanin_off : ++fanin_on;
+      for (const char* field :
+           {"wall_seconds", "msgs_per_sec", "entries_per_frame",
+            "bytes_per_msg", "overhead_bytes_per_msg"}) {
+        const JsonValue* v = row.find(field);
+        c.require(v != nullptr && v->is_number() && v->as_double() > 0,
+                  at + " missing positive '" + field + "'");
+      }
+      for (const char* field : {"frames_sent", "acks_standalone",
+                                "acks_piggybacked", "ooo_dropped",
+                                "sim_events"}) {
+        const JsonValue* v = row.find(field);
+        c.require(v != nullptr && v->is_int() && v->as_int() >= 0,
+                  at + " missing non-negative integer '" + field + "'");
+      }
+      if (name == "fanin_batching_on") {
+        const JsonValue* sp = row.find("batching_speedup");
+        c.require(sp != nullptr && sp->is_number() && sp->as_double() > 0,
+                  at + " missing positive 'batching_speedup'");
+      }
+    } else {
+      c.require(false, at + " unknown throughput case '" + name + "'");
+    }
+  }
+  c.require(group_rows > 0, "throughput needs at least one group-size row");
+  c.require(fanin_off == 1 && fanin_on == 1,
+            "throughput needs exactly one fanin_batching_off and one "
+            "fanin_batching_on row");
+}
+
 /// Schema for tools/vsgc_trace --json output (BENCH_tracelat.json,
 /// obs::append_tracelat_results): exactly one "summary" row plus per-phase
 /// "msg_phase"/"view_phase" rows with known phase names. The CI trace gate
@@ -246,6 +309,10 @@ Check validate(const JsonValue& root) {
     if (bench != nullptr && bench->is_string() &&
         bench->as_string() == "tracelat") {
       validate_tracelat(*results, c);
+    }
+    if (bench != nullptr && bench->is_string() &&
+        bench->as_string() == "throughput") {
+      validate_throughput(*results, c);
     }
   }
 

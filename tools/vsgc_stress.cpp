@@ -166,6 +166,7 @@ RunResult run_one(const StressConfig& cfg, std::uint64_t seed,
     }
     w.client(0).send("stress-probe-" + std::to_string(seed));
     w.run_for(3 * sim::kSecond);
+    w.check_transport_bounded();
     w.checkers().finalize();
     if (!spec::LivenessChecker::check(w.trace().recorded())) {
       throw InvariantViolation(
