@@ -117,6 +117,33 @@ rm -rf "$PLANT_OUT"
   > /dev/null
 echo "planted bug caught, minimized, and replayed"
 
+echo "== corruption stress sweep (eventual-safety suite) =="
+# State-corruption fault family (DESIGN.md §12): 200 seeds of corruption-heavy
+# churn judged by the eventual-safety checker bundle. Recoverable corruption
+# may violate safety only inside the post-injection tolerance window; any
+# post-window violation or failed reconvergence fails the sweep.
+CORRUPT_OUT="$BUILD_DIR/corrupt-out"
+rm -rf "$CORRUPT_OUT"
+if ! "$BUILD_DIR/tools/vsgc_stress" --corrupt --seeds 0:199 --clients 4 \
+    --servers 2 --steps 15 --jobs "$JOBS" --out "$CORRUPT_OUT" > /dev/null; then
+  echo "corruption sweep violation; repro bundles under $CORRUPT_OUT" >&2
+  exit 1
+fi
+echo "200-seed corruption sweep clean (zero post-window violations)"
+
+echo "== corruption pipeline self-check (planted wedge) =="
+# The unrecoverable planted corruption (the endpoint view-epoch wedge) must
+# be flagged by the stabilize epilogue even under the eventual bundle,
+# minimized to the single injection, and the minimized bundle must replay to
+# the same violation under the same tolerance window.
+CORRUPT_PLANT="$BUILD_DIR/corrupt-selfcheck"
+rm -rf "$CORRUPT_PLANT"
+"$BUILD_DIR/tools/vsgc_stress" --corrupt --seeds 3:3 --inject-bug 10 \
+  --expect-violation --out "$CORRUPT_PLANT" > /dev/null
+"$BUILD_DIR/tools/vsgc_stress" --replay "$CORRUPT_PLANT/seed3" \
+  --expect-violation > /dev/null
+echo "planted corruption wedge caught, minimized, and replayed"
+
 echo "== parallel sweep: jobs-independence (stress) =="
 # The work-stealing seed sweep must be an invisible optimization: stdout (the
 # deterministic per-seed verdict stream + summary) must be byte-identical
@@ -155,6 +182,22 @@ VSGC_BENCH_OUT="$MC_PLANT" "$BUILD_DIR/tools/vsgc_mc" --inject-bug \
 "$BUILD_DIR/tools/vsgc_mc" --replay "$MC_PLANT/seed1" --expect-violation \
   > /dev/null
 echo "planted schedule bug found, minimized, and replayed byte-identically"
+
+echo "== model checker corruption self-check (planted wedge) =="
+# With --corrupt the fault menu gains the corruption family and the planted
+# action becomes the unrecoverable view-epoch wedge: exploration must find
+# it, the minimizer must shrink the schedule to that single injection, and
+# the bundle (scenario.json round-trips the corruption flag, so the replay
+# is judged under the same eventual-safety window) must replay identically.
+MC_CORRUPT="$BUILD_DIR/mc-corrupt-selfcheck"
+rm -rf "$MC_CORRUPT"
+mkdir -p "$MC_CORRUPT"
+VSGC_BENCH_OUT="$MC_CORRUPT" "$BUILD_DIR/tools/vsgc_mc" --corrupt \
+  --inject-bug --max-deviations 1 --expect-violation --out "$MC_CORRUPT" \
+  > /dev/null
+"$BUILD_DIR/tools/vsgc_mc" --replay "$MC_CORRUPT/seed1" --expect-violation \
+  > /dev/null
+echo "corruption wedge found by exploration, minimized, and replayed"
 
 echo "== parallel exploration: jobs-independence (mc) =="
 # Same contract for the model checker: parallel chunked exploration must

@@ -16,6 +16,7 @@
 #include "sim/simulator.hpp"
 #include "spec/all_checkers.hpp"
 #include "spec/co_rfifo_checker.hpp"
+#include "spec/eventually.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -32,6 +33,13 @@ struct WorldConfig {
   gcs::ForwardingKind forwarding = gcs::ForwardingKind::kMinCopies;
   gcs::SyncRouting sync_routing;  ///< direct by default
   bool attach_checkers = true;
+  /// Attach the eventual-safety bundle (spec::AllEventualCheckers) instead of
+  /// the exact one: violations are tolerated inside a bounded window after a
+  /// corruption injection (DESIGN.md §12). Corruption-enabled harnesses
+  /// (vsgc_stress --corrupt, the mc corruption menu) set this; exact checkers
+  /// stay the default everywhere else.
+  bool eventual_checkers = false;
+  sim::Time eventual_window = 30 * sim::kSecond;
   bool record_trace = true;
   /// Emit the fine-grained causal span events (DESIGN.md §10) so recorded
   /// traces carry per-message lifecycles and view-change phase milestones.
@@ -45,7 +53,15 @@ class World {
                                               config.net);
     if (config.record_trace) trace_.set_recording(true);
     if (config.lifecycle_spans) trace_.set_lifecycle(true);
-    if (config.attach_checkers) checkers_.attach(trace_);
+    if (config.attach_checkers) {
+      if (config.eventual_checkers) {
+        eventual_ = std::make_unique<spec::AllEventualCheckers>(
+            config.eventual_window);
+        eventual_->attach(trace_);
+      } else {
+        checkers_.attach(trace_);
+      }
+    }
 
     std::set<ServerId> server_ids;
     for (int s = 0; s < config.num_servers; ++s) {
@@ -198,13 +214,53 @@ class World {
     t.send_traffic = [this](int i, const std::string& payload) {
       client(i).send(payload);
     };
+    t.corrupt = [this, node](const sim::FaultOp& op) {
+      using K = sim::FaultOp::Kind;
+      gcs::Process& proc = process(op.a);
+      if (proc.crashed()) return;
+      switch (op.kind) {
+        case K::kCorruptSeq:
+          proc.transport().corrupt_outgoing_seq(node(op.b), op.v);
+          break;
+        case K::kCorruptAck:
+          proc.transport().corrupt_ack_cursor(node(op.b), op.v);
+          break;
+        case K::kCorruptReliable:
+          proc.transport().corrupt_drop_reliable(node(op.b));
+          break;
+        case K::kCorruptView:
+          proc.membership().corrupt_view_floor(op.v);
+          break;
+        case K::kCorruptBackoff:
+          proc.transport().corrupt_backoff(
+              node(op.b), static_cast<std::uint32_t>(op.v));
+          break;
+        case K::kBugCorruptWedge:
+          proc.endpoint().corrupt_view_epoch(op.v);
+          break;
+        default:
+          break;
+      }
+    };
     return t;
+  }
+
+  /// End-of-execution checks, dispatching to whichever checker bundle this
+  /// world attached (exact by default, eventual under `eventual_checkers`).
+  void finalize_checkers() const {
+    if (eventual_ != nullptr) {
+      eventual_->finalize();
+    } else {
+      checkers_.finalize();
+    }
   }
 
   sim::Simulator& sim() { return sim_; }
   net::Network& network() { return *network_; }
   spec::TraceBus& trace() { return trace_; }
   spec::AllCheckers& checkers() { return checkers_; }
+  /// Non-null iff eventual_checkers was set (tolerance introspection).
+  spec::AllEventualCheckers* eventual_checkers() { return eventual_.get(); }
   membership::MembershipServer& server(int i) { return *servers_.at(i); }
   gcs::Process& process(int i) { return *processes_.at(i); }
   BlockingClient& client(int i) { return *clients_.at(i); }
@@ -218,6 +274,7 @@ class World {
   ScopedSimClock log_clock_{[this] { return sim_.now(); }};
   spec::TraceBus trace_;
   spec::AllCheckers checkers_;
+  std::unique_ptr<spec::AllEventualCheckers> eventual_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<membership::MembershipServer>> servers_;
   std::vector<std::unique_ptr<gcs::Process>> processes_;

@@ -65,6 +65,13 @@ class Process {
         [this](net::NodeId from, const std::any& payload) {
           membership_->handle(from, payload);
         });
+    // Corruption recovery (DESIGN.md §12): when a transport guard detects
+    // impossible ack/seq state it re-homes the stream, but entries a
+    // corrupted cursor skipped are lost to the current view — the end-point's
+    // per-sender delivery indexes only re-align at a view change. Force one
+    // by re-attaching to the membership server under a fresh incarnation.
+    transport_->set_reset_handler(
+        [this](net::NodeId) { membership_->resync(); });
   }
 
   Process(sim::Simulator& sim, net::Network& network, ProcessId self,

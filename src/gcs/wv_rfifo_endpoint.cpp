@@ -161,7 +161,15 @@ bool WvRfifoEndpoint::try_set_reliable() {
   // the concrete set is chosen by the child hook (VS: ∪ start_change.set).
   std::set<ProcessId> desired = desired_reliable_set();
   desired.insert(self_);
-  if (desired == reliable_set_) return false;
+  // Compare against the transport's set as well as our mirror: a corrupted
+  // transport reliable_set (sim::FaultOp::kCorruptReliable) silently stops
+  // retransmission toward the dropped peer, and only this re-assertion path
+  // heals it (DESIGN.md §12). Honest runs never diverge — the extra check
+  // costs one set comparison per pump and never fires.
+  if (desired == reliable_set_ &&
+      nodes_of(desired, /*exclude_self=*/false) == transport_.reliable_set()) {
+    return false;
+  }
   VSGC_REQUIRE(std::includes(desired.begin(), desired.end(),
                              current_view_.members.begin(),
                              current_view_.members.end()),

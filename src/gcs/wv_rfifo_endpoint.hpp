@@ -83,6 +83,17 @@ class WvRfifoEndpoint : public membership::Listener {
   virtual void recover();
   bool crashed() const { return crashed_; }
 
+  /// State-corruption hook (sim::FaultOp::kBugCorruptWedge): overwrite the
+  /// installed view's epoch. A huge epoch makes try_deliver_view's
+  /// monotonicity gate reject every future membership view — a deliberately
+  /// *unrecoverable* wedge the eventual-safety suite must flag after its
+  /// tolerance window (no recovery path exists for corrupted installed-view
+  /// state; contrast the recoverable kCorrupt* family).
+  void corrupt_view_epoch(std::uint64_t epoch) {
+    if (crashed_) return;
+    current_view_.id.epoch = epoch;
+  }
+
   // Introspection (tests, benches, forwarding strategies).
   const View& current_view() const { return current_view_; }
   const View& mbrshp_view() const { return mbrshp_view_; }

@@ -71,6 +71,7 @@ obs::JsonValue ScenarioConfig::to_json() const {
   j["drop"] = drop;
   j["jitter"] = jitter;
   j["inject_bug"] = inject_bug;
+  j["corruption"] = corruption;
   return j;
 }
 
@@ -89,6 +90,7 @@ bool ScenarioConfig::from_json(const obs::JsonValue& j, ScenarioConfig* out) {
   if (const auto* v = j.find("drop")) out->drop = v->as_double();
   if (const auto* v = j.find("jitter")) out->jitter = v->as_int();
   if (const auto* v = j.find("inject_bug")) out->inject_bug = v->as_bool();
+  if (const auto* v = j.find("corruption")) out->corruption = v->as_bool();
   return true;
 }
 
@@ -143,9 +145,38 @@ std::vector<sim::FaultOp> fault_menu(const ScenarioConfig& sc) {
       menu.push_back(op);
     }
   }
+  if (sc.corruption && sc.clients >= 2) {
+    // One deterministic entry per recoverable corruption kind, all aimed at
+    // the p0 -> p1 stream / p0's membership floor so explorations stay
+    // comparable across scenarios (DESIGN.md §12).
+    const auto corrupt = [&menu](sim::FaultOp::Kind kind, int b,
+                                 std::uint64_t v) {
+      sim::FaultOp op;
+      op.kind = kind;
+      op.a = 0;
+      op.b = b;
+      op.v = v;
+      menu.push_back(op);
+    };
+    corrupt(sim::FaultOp::Kind::kCorruptSeq, 1, 4);
+    corrupt(sim::FaultOp::Kind::kCorruptAck, 1, 3);
+    corrupt(sim::FaultOp::Kind::kCorruptReliable, 1, 0);
+    corrupt(sim::FaultOp::Kind::kCorruptView, -1, std::uint64_t{1} << 40);
+    corrupt(sim::FaultOp::Kind::kCorruptBackoff, 1, 0);
+  }
   if (sc.inject_bug) {
     sim::FaultOp op;
-    op.kind = sim::FaultOp::Kind::kBugDupDeliver;
+    if (sc.corruption) {
+      // Corruption-family planted bug: wedge p0's installed view epoch so no
+      // future view can be delivered — unrecoverable by design, so the
+      // stabilize epilogue's reconvergence check must flag it even under the
+      // eventual-safety bundle.
+      op.kind = sim::FaultOp::Kind::kBugCorruptWedge;
+      op.a = 0;
+      op.v = std::uint64_t{1} << 40;
+    } else {
+      op.kind = sim::FaultOp::Kind::kBugDupDeliver;
+    }
     menu.push_back(op);
   }
   return menu;
@@ -159,6 +190,7 @@ RunResult run_scenario(const ScenarioConfig& sc, RecordingController& ctl) {
   wc.seed = sc.seed;
   wc.net.drop_probability = sc.drop;
   wc.net.jitter = sc.jitter;
+  wc.eventual_checkers = sc.corruption;
   app::World w(wc);
 
   sim::FailureInjector::Policy policy;
@@ -208,7 +240,7 @@ RunResult run_scenario(const ScenarioConfig& sc, RecordingController& ctl) {
     w.client(0).send("mc-probe");
     w.run_for(3 * sim::kSecond);
     w.check_transport_bounded();
-    w.checkers().finalize();
+    w.finalize_checkers();
     if (!spec::LivenessChecker::check(w.trace().recorded())) {
       throw InvariantViolation(
           "liveness: membership did not stabilize in the recorded trace");

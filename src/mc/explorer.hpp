@@ -59,6 +59,12 @@ struct ScenarioConfig {
   double drop = 0.0;     ///< > 0: every packet adds a "net.drop" choice
   sim::Time jitter = 0;  ///< > 0: every packet adds a "net.jitter" choice
   bool inject_bug = false;  ///< planted dup-delivery action on the menu
+  /// State-corruption exploration (DESIGN.md §12): the fault menu gains one
+  /// deterministic entry per recoverable corruption kind, and the world runs
+  /// the eventual-safety checker bundle so tolerated recovery windows don't
+  /// read as violations. With inject_bug, the planted action becomes the
+  /// *unrecoverable* kBugCorruptWedge instead of the dup-delivery forgery.
+  bool corruption = false;
 
   obs::JsonValue to_json() const;
   static bool from_json(const obs::JsonValue& j, ScenarioConfig* out);

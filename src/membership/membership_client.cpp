@@ -34,6 +34,7 @@ bool MembershipClient::handle(net::NodeId from, const std::any& payload) {
       return true;
     }
     last_view_id_ = v.id;
+    last_notified_id_ = v.id;
     VSGC_TRACE("mbr-client", to_string(self_) << " view " << to_string(v));
     for (Listener* l : listeners_) l->on_view(v);
     return true;

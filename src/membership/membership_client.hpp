@@ -75,9 +75,36 @@ class MembershipClient {
 
   void recover() {
     last_view_id_ = ViewId::zero();
+    last_notified_id_ = ViewId::zero();
     last_cid_ = StartChangeId::zero();
     start();
   }
+
+  /// Re-attach under a fresh heartbeat incarnation without losing the
+  /// monotonicity floors. The server treats the incarnation change as a
+  /// crash/recovery blip and reconfigures, forcing a fresh view — the
+  /// recovery lever for detected state corruption (DESIGN.md §12): a new
+  /// view is the only event that re-aligns endpoint delivery indexes after
+  /// a corrupted stream lost or skipped messages mid-view.
+  void resync() {
+    if (!running_) return;
+    ++resyncs_;
+    incarnation_ += 2;  // stays odd, strictly increasing, deterministic
+    heartbeat_timer_.cancel();
+    heartbeat_tick();
+  }
+
+  /// State-corruption hook (sim::FaultOp::kCorruptView): overwrite the Local
+  /// Monotonicity floor's epoch, resurrecting an obsolete view id (epoch 0)
+  /// or a future one that would suppress every legitimate delivery. The
+  /// heartbeat-path audit detects the floor/notify-history divergence and
+  /// repairs it (honest code only ever moves them together).
+  void corrupt_view_floor(std::uint64_t epoch) {
+    last_view_id_ = ViewId{epoch, last_view_id_.origin};
+  }
+
+  /// Detected-corruption repairs performed so far (tests, stress reports).
+  std::uint64_t resyncs() const { return resyncs_; }
 
   ProcessId self() const { return self_; }
   ServerId server() const { return server_; }
@@ -97,6 +124,17 @@ class MembershipClient {
 
   void heartbeat_tick() {
     if (!running_) return;
+    if (last_view_id_ != last_notified_id_) {
+      // Self-stabilization audit (DESIGN.md §12): the guard floor and the
+      // notify history are only ever advanced together, so divergence means
+      // the floor was corrupted. Repair it from the (uncorruptible) history
+      // and bump the incarnation so the server re-forms a view — deliveries
+      // the corrupted floor suppressed are gone and only a fresh view
+      // reconverges this client with the group.
+      last_view_id_ = last_notified_id_;
+      ++resyncs_;
+      incarnation_ += 2;
+    }
     wire::Heartbeat hb{/*from_server=*/false, self_.value, incarnation_};
     transport_.send_raw(net::node_of(server_), net::Payload(hb),
                         wire::Heartbeat::kWireSize);
@@ -113,7 +151,12 @@ class MembershipClient {
   std::vector<Listener*> listeners_;
   spec::TraceBus* trace_ = nullptr;
   ViewId last_view_id_ = ViewId::zero();
+  /// Shadow of last_view_id_ advanced only in the notify path — the
+  /// corruption hook never touches it, making floor corruption detectable
+  /// as divergence between the two (heartbeat-path audit).
+  ViewId last_notified_id_ = ViewId::zero();
   StartChangeId last_cid_ = StartChangeId::zero();
+  std::uint64_t resyncs_ = 0;
   std::uint64_t incarnation_ = 0;
   bool running_ = false;
   sim::TimerHandle heartbeat_timer_;

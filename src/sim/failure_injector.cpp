@@ -33,6 +33,12 @@ constexpr KindName kKindNames[] = {
     {FaultOp::Kind::kCrashInDelivery, "crash_in_delivery"},
     {FaultOp::Kind::kTraffic, "traffic"},
     {FaultOp::Kind::kBugDupDeliver, "bug_dup_deliver"},
+    {FaultOp::Kind::kCorruptSeq, "corrupt_seq"},
+    {FaultOp::Kind::kCorruptAck, "corrupt_ack"},
+    {FaultOp::Kind::kCorruptReliable, "corrupt_reliable_set"},
+    {FaultOp::Kind::kCorruptView, "corrupt_view_id"},
+    {FaultOp::Kind::kCorruptBackoff, "corrupt_backoff"},
+    {FaultOp::Kind::kBugCorruptWedge, "bug_corrupt_wedge"},
 };
 
 std::string node_ref(int v) {
@@ -81,6 +87,18 @@ std::string op_detail(const FaultOp& op) {
       break;
     case FaultOp::Kind::kLatency:
       os << "base=" << op.t0 << " jitter=" << op.t1;
+      break;
+    case FaultOp::Kind::kCorruptSeq:
+    case FaultOp::Kind::kCorruptAck:
+    case FaultOp::Kind::kCorruptBackoff:
+      os << "p" << op.a << "->p" << op.b << " v=" << op.v;
+      break;
+    case FaultOp::Kind::kCorruptReliable:
+      os << "p" << op.a << " drops p" << op.b;
+      break;
+    case FaultOp::Kind::kCorruptView:
+    case FaultOp::Kind::kBugCorruptWedge:
+      os << "p" << op.a << " epoch=" << op.v;
       break;
   }
   return os.str();
@@ -144,6 +162,19 @@ obs::JsonValue FaultScript::to_json() const {
         j["t0"] = op.t0;
         j["t1"] = op.t1;
         break;
+      case FaultOp::Kind::kCorruptSeq:
+      case FaultOp::Kind::kCorruptAck:
+      case FaultOp::Kind::kCorruptReliable:
+      case FaultOp::Kind::kCorruptBackoff:
+        j["a"] = op.a;
+        j["b"] = op.b;
+        j["v"] = op.v;
+        break;
+      case FaultOp::Kind::kCorruptView:
+      case FaultOp::Kind::kBugCorruptWedge:
+        j["a"] = op.a;
+        j["v"] = op.v;
+        break;
       case FaultOp::Kind::kHeal:
       case FaultOp::Kind::kBugDupDeliver:
         break;
@@ -195,6 +226,9 @@ bool FaultScript::from_json(const obs::JsonValue& j, FaultScript* out) {
     if (const obs::JsonValue* p = rec.find("p")) op.p = p->as_double();
     if (const obs::JsonValue* t0 = rec.find("t0")) op.t0 = t0->as_int();
     if (const obs::JsonValue* t1 = rec.find("t1")) op.t1 = t1->as_int();
+    if (const obs::JsonValue* v = rec.find("v")) {
+      op.v = static_cast<std::uint64_t>(v->as_int());
+    }
     if (const obs::JsonValue* payload = rec.find("payload")) {
       if (!payload->is_string()) return false;
       op.payload = payload->as_string();
@@ -339,6 +373,14 @@ void FailureInjector::apply(const FaultOp& op, bool record) {
       }
       break;
     }
+    case FaultOp::Kind::kCorruptSeq:
+    case FaultOp::Kind::kCorruptAck:
+    case FaultOp::Kind::kCorruptReliable:
+    case FaultOp::Kind::kCorruptView:
+    case FaultOp::Kind::kCorruptBackoff:
+    case FaultOp::Kind::kBugCorruptWedge:
+      if (!crashed(op.a) && target_.corrupt) target_.corrupt(op);
+      break;
   }
 }
 
@@ -363,7 +405,21 @@ void FailureInjector::drain_pending(Time up_to) {
 bool FailureInjector::generate_step(int step) {
   if (step == policy_.bug_at_step) {
     FaultOp op;
-    op.kind = FaultOp::Kind::kBugDupDeliver;
+    if (policy_.bug_is_corruption) {
+      // Unrecoverable planted corruption: wedge a live process's endpoint on
+      // an impossibly-high view epoch so it can never install another view.
+      op.kind = FaultOp::Kind::kBugCorruptWedge;
+      op.a = 0;
+      for (int i = 0; i < target_.num_processes; ++i) {
+        if (!target_.process_crashed || !target_.process_crashed(i)) {
+          op.a = i;
+          break;
+        }
+      }
+      op.v = std::uint64_t{1} << 40;
+    } else {
+      op.kind = FaultOp::Kind::kBugDupDeliver;
+    }
     apply(op, /*record=*/true);
     return true;
   }
@@ -431,6 +487,8 @@ bool FailureInjector::generate_step(int step) {
        FaultOp::Kind::kServerDown},
       {policy_.w_crash_in_delivery, FaultOp::Kind::kCrashInDelivery},
       {policy_.w_partition_in_view_change, FaultOp::Kind::kLeave},  // marker
+      {target_.num_processes > 1 ? policy_.w_corrupt : 0,
+       FaultOp::Kind::kCorruptSeq},  // marker: sub-kind drawn below
   };
   int total = 0;
   for (const Action& a : actions) total += a.weight;
@@ -585,6 +643,45 @@ bool FailureInjector::generate_step(int step) {
       schedule_restore(target_.sim->now() + policy_.view_change_delay, split);
       partitioned_ = true;  // the split is committed (pending)
       return true;
+    }
+    case 13: {  // state corruption: one of the five recoverable mutators
+      const int proc = pick_where([&](int i) {
+        return !crashed(i) && !left_[static_cast<std::size_t>(i)];
+      });
+      if (proc < 0 || target_.num_processes < 2) return fallback_traffic();
+      int peer = static_cast<int>(rng_.next_below(
+          static_cast<std::uint64_t>(target_.num_processes - 1)));
+      if (peer >= proc) ++peer;
+      op.a = proc;
+      op.b = peer;
+      switch (rng_.next_below(5)) {
+        case 0:
+          op.kind = FaultOp::Kind::kCorruptSeq;
+          op.v = 1 + rng_.next_below(8);
+          break;
+        case 1:
+          op.kind = FaultOp::Kind::kCorruptAck;
+          op.v = 1 + rng_.next_below(8);
+          break;
+        case 2:
+          op.kind = FaultOp::Kind::kCorruptReliable;
+          break;
+        case 3:
+          // Resurrected/wrapped view-id floor: half far-future (wedges
+          // delivery until the stale-drop re-sync), half back to zero.
+          op.kind = FaultOp::Kind::kCorruptView;
+          op.v = rng_.next_below(2) == 0 ? (std::uint64_t{1} << 40) : 0;
+          break;
+        default:
+          // Corrupted retransmit multiplier: 0 would spin, huge would freeze.
+          op.kind = FaultOp::Kind::kCorruptBackoff;
+          op.v = rng_.next_below(2) == 0 ? 0 : (std::uint64_t{1} << 20);
+          break;
+      }
+      apply(op, true);
+      // A nudge of traffic so the corrupted stream actually carries data
+      // (idle corrupted cursors would otherwise stay dormant for the run).
+      return fallback_traffic(), true;
     }
     default:
       return fallback_traffic();

@@ -60,15 +60,26 @@ struct FaultOp {
     kCrashInDelivery,  ///< arm: process a crashes inside its next delivery
     kTraffic,          ///< process a multicasts `payload`
     kBugDupDeliver,    ///< test hook: forge a duplicate delivery trace event
+    // State-corruption family (DESIGN.md §12): targeted transient mutations
+    // of live protocol state. Recoverable by the stack's self-stabilization
+    // paths; the eventual-safety checkers tolerate their fallout only inside
+    // a bounded post-injection window.
+    kCorruptSeq,       ///< bump p_a's CO_RFIFO next_seq toward p_b by `v`
+    kCorruptAck,       ///< bump p_a's acked cursor toward p_b by `v`
+    kCorruptReliable,  ///< drop p_b from p_a's transport reliable_set
+    kCorruptView,      ///< overwrite p_a's membership view-id floor epoch = v
+    kCorruptBackoff,   ///< set p_a's retransmit backoff toward p_b to `v`
+    kBugCorruptWedge,  ///< test hook: unrecoverable endpoint view-epoch wedge
   };
 
   Time at = 0;
   Kind kind = Kind::kHeal;
   int a = -1;          ///< process/server index (see kind)
-  int b = -1;          ///< second endpoint for link ops
+  int b = -1;          ///< second endpoint for link/corruption ops
   bool oneway = false;
   double p = 0.0;      ///< drop probability
   Time t0 = 0, t1 = 0; ///< latency base/jitter
+  std::uint64_t v = 0; ///< corruption value (delta, epoch, or counter)
   std::vector<std::vector<int>> groups;  ///< partition components (encoded)
   std::string payload;
 
@@ -118,6 +129,10 @@ struct FaultTarget {
   /// Arm (or disarm) "crash inside the next delivery callback" at process a.
   std::function<void(int, bool)> arm_crash_in_delivery;
   std::function<void(int, const std::string&)> send_traffic;
+  /// Apply a state-corruption op (one of the kCorrupt*/kBugCorruptWedge
+  /// kinds) to live protocol state. Must no-op gracefully when the target
+  /// process is crashed or the referenced stream does not exist.
+  std::function<void(const FaultOp&)> corrupt;
 };
 
 class FailureInjector {
@@ -143,6 +158,11 @@ class FailureInjector {
     int w_server_outage = 1;   ///< only effective with >= 2 servers
     int w_crash_in_delivery = 1;
     int w_partition_in_view_change = 1;  ///< leave, then partition mid-change
+    /// State-corruption family weight (off by default so crash/partition-only
+    /// suites keep their exact-safety contract; vsgc_stress --corrupt and the
+    /// mc corruption menu turn it on). One draw picks uniformly among the
+    /// five recoverable corruption kinds.
+    int w_corrupt = 0;
 
     int max_partition_ways = 3;
     double spike_drop = 0.4;
@@ -161,6 +181,12 @@ class FailureInjector {
     /// trace event — a deliberately injected "endpoint bug" that the spec
     /// checkers must catch (vsgc_stress --inject-bug, CI pipeline check).
     int bug_at_step = -1;
+
+    /// When bug_at_step fires and this is set, plant kBugCorruptWedge (an
+    /// unrecoverable view-epoch corruption that wedges reconvergence) instead
+    /// of the duplicate-delivery forgery — the corruption-family variant of
+    /// the pipeline self-check.
+    bool bug_is_corruption = false;
   };
 
   FailureInjector(FaultTarget target, Policy policy, std::uint64_t seed);

@@ -1,6 +1,11 @@
 // Convenience bundle: every safety checker of Section 4 plus the membership
 // and client specs, wired to a TraceBus in one call. Integration and property
 // tests attach this to simulated worlds so any spec violation aborts the run.
+//
+// The eventual-safety twin of this bundle — every checker wrapped in
+// spec::Eventually<> so violations are tolerated inside a bounded window
+// after a state-corruption injection — is spec::AllEventualCheckers in
+// eventually.hpp (DESIGN.md §12).
 #pragma once
 
 #include "spec/client_checker.hpp"

@@ -1,0 +1,144 @@
+// Eventual-safety checker wrappers (DESIGN.md §12).
+//
+// "Practically-Self-Stabilizing Virtual Synchrony" (PAPERS.md) relaxes the
+// paper's safety properties under transient state corruption: after an
+// adversary mutates live protocol state, violations are permitted only inside
+// a bounded recovery window, after which every exact property must hold
+// again. Eventually<Inner> turns any exact trace checker into that eventual
+// variant:
+//
+//   * A FaultInjected event whose kind belongs to the corruption family
+//     ("corrupt_*" / "bug_corrupt_*") opens a tolerance window of `window`
+//     simulated time. A later "stabilize" marker extends a still-open window
+//     (recovery churn — forced view changes, stream re-homing — is part of
+//     the healing the window exists to absorb), but never reopens a closed
+//     one.
+//   * A violation raised by the inner checker inside the window is tolerated:
+//     the inner automaton is rebuilt from the full event history with the
+//     corrupted span's violations swallowed, so it tracks the post-recovery
+//     state instead of staying wedged on pre-corruption expectations.
+//   * A violation outside any window propagates unchanged — corruption is
+//     never an excuse for steady-state divergence.
+//
+// Exact checkers stay the default everywhere; the eventual bundle is opted
+// into by corruption-enabled harnesses (World's `eventual_checkers`,
+// vsgc_stress --corrupt, the mc corruption menu).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "spec/all_checkers.hpp"
+#include "spec/events.hpp"
+#include "util/assert.hpp"
+
+namespace vsgc::spec {
+
+/// True for the FaultInjected kinds that open a tolerance window: the
+/// recoverable corruption family plus the deliberately unrecoverable
+/// bug-corruption test hooks (those must fire *after* the window).
+inline bool is_corruption_kind(std::string_view kind) {
+  return kind.starts_with("corrupt_") || kind.starts_with("bug_corrupt_");
+}
+
+template <typename Inner>
+class Eventually : public TraceSink {
+ public:
+  explicit Eventually(sim::Time window) : window_(window) {}
+
+  void on_event(const Event& event) override {
+    if (const auto* f = std::get_if<FaultInjected>(&event.body)) {
+      if (is_corruption_kind(f->kind)) {
+        deadline_ = event.at + window_;
+      } else if (f->kind == "stabilize" && event.at <= deadline_) {
+        deadline_ = event.at + window_;
+      }
+    }
+    history_.push_back(event);
+    try {
+      inner_.on_event(event);
+    } catch (const InvariantViolation&) {
+      if (event.at > deadline_) throw;
+      ++tolerated_;
+      resync();
+    }
+  }
+
+  /// Latest instant at which a violation is still tolerated (minimal Time
+  /// when no corruption was ever injected). Eventual finalize passes this to
+  /// the inner checker's window-aware end-of-run checks.
+  sim::Time tolerance_deadline() const { return deadline_; }
+
+  /// Violations swallowed inside tolerance windows so far.
+  std::uint64_t tolerated() const { return tolerated_; }
+
+  Inner& inner() { return inner_; }
+  const Inner& inner() const { return inner_; }
+
+ private:
+  /// Rebuild the inner automaton over the full history, swallowing per-event
+  /// violations: the replayed checker converges to the post-corruption truth
+  /// (views installed, cursors advanced) instead of staying wedged on state
+  /// the corrupted span invalidated.
+  void resync() {
+    inner_ = Inner();
+    for (const Event& e : history_) {
+      try {
+        inner_.on_event(e);
+      } catch (const InvariantViolation&) {
+      }
+    }
+  }
+
+  Inner inner_;
+  sim::Time window_;
+  sim::Time deadline_ = std::numeric_limits<sim::Time>::min();
+  std::uint64_t tolerated_ = 0;
+  std::vector<Event> history_;
+};
+
+/// The eventual-safety twin of AllCheckers: every deployed checker wrapped in
+/// Eventually<>, sharing one tolerance window length. finalize() runs the
+/// prophecy-style end-of-run checks window-aware: view transitions recorded
+/// at or before the tolerance deadline are exempt from the cross-process
+/// consistency requirement (they may straddle a tolerated recovery).
+struct AllEventualCheckers {
+  explicit AllEventualCheckers(sim::Time window)
+      : mbrshp(window),
+        wv_rfifo(window),
+        vs_rfifo(window),
+        trans_set(window),
+        self(window),
+        client(window) {}
+
+  Eventually<MbrshpChecker> mbrshp;
+  Eventually<WvRfifoChecker> wv_rfifo;
+  Eventually<VsRfifoChecker> vs_rfifo;
+  Eventually<TransSetChecker> trans_set;
+  Eventually<SelfChecker> self;
+  Eventually<ClientChecker> client;
+
+  void attach(TraceBus& bus) {
+    bus.subscribe(mbrshp);
+    bus.subscribe(wv_rfifo);
+    bus.subscribe(vs_rfifo);
+    bus.subscribe(trans_set);
+    bus.subscribe(self);
+    bus.subscribe(client);
+  }
+
+  void finalize() const {
+    trans_set.inner().finalize_after(trans_set.tolerance_deadline());
+  }
+
+  /// Violations tolerated across all wrapped checkers (stress reports).
+  std::uint64_t tolerated() const {
+    return mbrshp.tolerated() + wv_rfifo.tolerated() + vs_rfifo.tolerated() +
+           trans_set.tolerated() + self.tolerated() + client.tolerated();
+  }
+};
+
+}  // namespace vsgc::spec

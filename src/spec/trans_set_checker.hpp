@@ -11,10 +11,12 @@
 //     q ∈ T_p  ⇔  prev_view(q) == prev_view(p),   for q ∈ v'.set ∩ prev_p.set.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <set>
 #include <vector>
 
+#include "sim/time.hpp"
 #include "spec/events.hpp"
 #include "util/assert.hpp"
 
@@ -34,7 +36,8 @@ class TransSetChecker : public TraceSink {
                                    << " outside v.set ∩ prev.set at "
                                    << to_string(v->p));
       }
-      deliveries_.push_back(Delivery{v->p, prev, v->view, v->transitional});
+      deliveries_.push_back(
+          Delivery{v->p, prev, v->view, v->transitional, event.at});
       current_view_.insert_or_assign(v->p, v->view);
       return;
     }
@@ -45,13 +48,21 @@ class TransSetChecker : public TraceSink {
   }
 
   /// Cross-process half of Property 4.1; call once the execution is over.
-  void finalize() const {
+  void finalize() const { finalize_after(std::numeric_limits<sim::Time>::min()); }
+
+  /// Window-aware finalize (eventual-safety mode, DESIGN.md §12): view
+  /// transitions recorded at or before `cutoff` straddle a tolerated
+  /// corruption-recovery span and are exempt from the cross-process
+  /// consistency requirement; everything later must be exact. finalize() is
+  /// the cutoff = -inf special case.
+  void finalize_after(sim::Time cutoff) const {
     // prev[(q, v')] = the view q moved to v' from (unique per q, v').
     std::map<std::pair<ProcessId, View>, View> prev;
     for (const Delivery& d : deliveries_) {
       prev.emplace(std::make_pair(d.p, d.view), d.previous);
     }
     for (const Delivery& d : deliveries_) {
+      if (d.at <= cutoff) continue;
       for (ProcessId q : d.view.members) {
         if (!d.previous.contains(q)) continue;
         auto it = prev.find(std::make_pair(q, d.view));
@@ -77,6 +88,7 @@ class TransSetChecker : public TraceSink {
     View previous;
     View view;
     std::set<ProcessId> transitional;
+    sim::Time at = 0;
   };
 
   const View& current_view(ProcessId p) {

@@ -87,6 +87,7 @@ void CoRfifoTransport::flush(net::NodeId to) {
   if (it == outgoing_.end()) return;
   auto& out = it->second;
   out.flush_timer.cancel();
+  if (audit_outgoing(to)) return;  // corrupted cursors: stream was re-homed
   const std::size_t cap = config_.batching ? config_.max_batch : 1;
   while (!out.pending.empty()) {
     if (out.unacked.size() >= config_.send_window) {
@@ -152,6 +153,11 @@ void CoRfifoTransport::arm_retransmit(net::NodeId to) {
   auto& out = outgoing_[to];
   if (out.unacked.empty()) return;
   if (out.retransmit_timer.pending()) return;
+  if (out.backoff == 0 || out.backoff > config_.backoff_limit) {
+    // Self-stabilization clamp (DESIGN.md §12): a corrupted multiplier would
+    // either spin the timer at a zero interval or freeze retransmission.
+    out.backoff = out.backoff == 0 ? 1 : config_.backoff_limit;
+  }
   out.retransmit_timer =
       sim_.schedule(config_.retransmit_timeout * out.backoff, [this, to]() {
         if (crashed_) return;
@@ -160,6 +166,7 @@ void CoRfifoTransport::arm_retransmit(net::NodeId to) {
         auto& out = it->second;
         if (out.unacked.empty()) return;
         if (!reliable_set_.contains(to)) return;  // abandoned connection
+        if (audit_outgoing(to)) return;  // corrupted cursors: re-homed
         const std::size_t cap = config_.batching ? config_.max_batch : 1;
         std::size_t budget = out.unacked.size();
         if (budget > config_.retransmit_batch) budget = config_.retransmit_batch;
@@ -213,6 +220,15 @@ void CoRfifoTransport::set_reliable(const std::set<net::NodeId>& set) {
   }
   reliable_set_ = set;
   reliable_set_.insert(self_);
+  // A peer re-entering the set may have a live stream whose retransmit timer
+  // was lost while it was outside (e.g. a corrupted reliable_set dropped it
+  // and the timer body bailed on the membership check). Re-arm so in-flight
+  // entries are not stranded until the next fresh send.
+  for (auto& [q, out] : outgoing_) {
+    if (q != self_ && reliable_set_.contains(q) && !out.unacked.empty()) {
+      arm_retransmit(q);
+    }
+  }
 }
 
 void CoRfifoTransport::on_packet(net::NodeId from, const std::any& raw) {
@@ -239,6 +255,14 @@ void CoRfifoTransport::handle_ack(net::NodeId from, std::uint64_t incarnation,
   if (it == outgoing_.end()) return;
   auto& out = it->second;
   if (incarnation != out.incarnation) return;  // stale incarnation
+  if (ack_seq >= out.next_seq) {
+    // Cumulative ack for a sequence number never sent: impossible for honest
+    // cursors on both ends — one side's state is corrupted. Re-home the
+    // stream under a fresh incarnation instead of trimming into garbage
+    // (DESIGN.md §12).
+    reset_stream(from, /*detected_corruption=*/true);
+    return;
+  }
   if (ack_seq <= out.acked) return;
   out.acked = ack_seq;
   while (!out.unacked.empty() && out.unacked.front().seq <= ack_seq) {
@@ -257,19 +281,30 @@ void CoRfifoTransport::handle_reset(net::NodeId from,
                                     std::uint64_t incarnation) {
   auto it = outgoing_.find(from);
   if (it == outgoing_.end()) return;
-  auto& out = it->second;
-  if (incarnation != out.incarnation) return;  // stale incarnation
+  if (incarnation != it->second.incarnation) return;  // stale incarnation
   // The peer lost this stream's prefix (it crashed and recovered without
-  // stable storage). Start a fresh incarnation, carrying the unacked
-  // suffix over as the new stream's first messages — the acked prefix
-  // belongs to the peer's previous life and is gone by design (Section 8).
+  // stable storage, or detected corrupted cursors). Re-home under a fresh
+  // incarnation — the acked prefix belongs to the peer's previous life and
+  // is gone by design (Section 8).
+  reset_stream(from, /*detected_corruption=*/false);
+}
+
+void CoRfifoTransport::reset_stream(net::NodeId to, bool detected_corruption) {
+  auto it = outgoing_.find(to);
+  if (it == outgoing_.end()) return;
+  auto& out = it->second;
+  if (detected_corruption) {
+    ++stats_.corruption_resets;
+    if (reset_handler_) reset_handler_(to);
+  }
+  // Carry the unacked suffix over as the new stream's first messages.
   out.acked = 0;
   out.retransmit_timer.cancel();
   out.backoff = 1;
   if (out.unacked.empty()) {
     out.incarnation = 0;  // next flush opens a new stream lazily
     out.next_seq = 1;
-    if (!out.pending.empty()) flush(from);
+    if (!out.pending.empty()) flush(to);
     return;
   }
   out.incarnation = fresh_incarnation();
@@ -294,15 +329,30 @@ void CoRfifoTransport::handle_reset(net::NodeId from,
     // Re-homing the suffix re-sends entries already transmitted once:
     // recovery cost, counted like any other retransmission.
     stats_.retransmissions += take;
-    attach_piggyback(from, f);
-    transmit_frame(from, std::move(f));
+    attach_piggyback(to, f);
+    transmit_frame(to, std::move(f));
   }
   if (trace_ != nullptr && trace_->lifecycle()) {
     trace_->emit(sim_.now(),
-                 spec::XportRetransmit{self_.value, from.value, total});
+                 spec::XportRetransmit{self_.value, to.value, total});
   }
-  arm_retransmit(from);
-  if (!out.pending.empty()) flush(from);
+  arm_retransmit(to);
+  if (!out.pending.empty()) flush(to);
+}
+
+bool CoRfifoTransport::audit_outgoing(net::NodeId to) {
+  auto it = outgoing_.find(to);
+  if (it == outgoing_.end() || it->second.incarnation == 0) return false;
+  const Outgoing& out = it->second;
+  const bool consistent =
+      out.acked < out.next_seq &&
+      (out.unacked.empty()
+           ? out.next_seq == out.acked + 1
+           : out.unacked.front().seq == out.acked + 1 &&
+                 out.unacked.back().seq == out.next_seq - 1);
+  if (consistent) return false;
+  reset_stream(to, /*detected_corruption=*/true);
+  return true;
 }
 
 void CoRfifoTransport::handle_data(net::NodeId from, const Frame& frame) {
@@ -325,6 +375,22 @@ void CoRfifoTransport::handle_data(net::NodeId from, const Frame& frame) {
     in.incarnation = h.incarnation;
     in.next_expected = 1;
     in.out_of_order.clear();
+  } else if (h.first_seq > in.next_expected) {
+    // Same incarnation, yet the sender's unacked window starts beyond our
+    // cumulative ack. Impossible for honest cursors: first_seq is the
+    // sender's acked+1, and we only ever acked what we delivered — so one
+    // side's stream state is corrupted (e.g. a desynced ack cursor). Ask for
+    // a fresh incarnation and notify the upper layer: entries the corrupted
+    // cursor skipped are lost to this stream, and only a view change can
+    // re-align endpoint delivery indexes (DESIGN.md §12).
+    ++stats_.corruption_resets;
+    Frame reset;
+    reset.header.flags = wire::kFlagReset;
+    reset.header.ack_incarnation = h.incarnation;
+    ++stats_.acks_sent;
+    transmit_frame(from, std::move(reset));
+    if (reset_handler_) reset_handler_(from);
+    return;
   }
 
   // Classify-and-deliver in one pass, bracketed by the batch hooks so
@@ -405,6 +471,50 @@ void CoRfifoTransport::send_standalone_ack(net::NodeId to) {
   // A standalone ack is a header-only frame: kFrameHeaderBytes on the wire
   // (honest accounting — it carries no entry, so no per-entry cost).
   transmit_frame(to, std::move(ack));
+}
+
+bool CoRfifoTransport::corrupt_outgoing_seq(net::NodeId peer,
+                                            std::uint64_t delta) {
+  if (crashed_ || delta == 0) return false;
+  auto it = outgoing_.find(peer);
+  if (it == outgoing_.end() || it->second.incarnation == 0) return false;
+  it->second.next_seq += delta;  // audit_outgoing() will catch the gap
+  return true;
+}
+
+bool CoRfifoTransport::corrupt_ack_cursor(net::NodeId peer,
+                                          std::uint64_t delta) {
+  if (crashed_ || delta == 0) return false;
+  auto it = outgoing_.find(peer);
+  if (it == outgoing_.end() || it->second.incarnation == 0) return false;
+  auto& out = it->second;
+  // Advance the cursor as if acks arrived for entries the peer never saw,
+  // trimming unacked to match — internally consistent, so the sender-side
+  // audit stays blind; only the receiver's first_seq check can expose it.
+  out.acked = out.acked + delta >= out.next_seq ? out.next_seq - 1
+                                                : out.acked + delta;
+  while (!out.unacked.empty() && out.unacked.front().seq <= out.acked) {
+    out.unacked.pop_front();
+  }
+  return true;
+}
+
+bool CoRfifoTransport::corrupt_drop_reliable(net::NodeId peer) {
+  if (crashed_ || peer == self_) return false;
+  if (!reliable_set_.contains(peer)) return false;
+  // Desync the set only — stream state stays, mimicking a flipped membership
+  // bit. Retransmission toward `peer` silently stops until the next
+  // set_reliable() re-asserts the true set and re-arms the timer.
+  reliable_set_.erase(peer);
+  return true;
+}
+
+bool CoRfifoTransport::corrupt_backoff(net::NodeId peer, std::uint32_t value) {
+  if (crashed_) return false;
+  auto it = outgoing_.find(peer);
+  if (it == outgoing_.end() || it->second.incarnation == 0) return false;
+  it->second.backoff = value;  // arm_retransmit() clamps before scheduling
+  return true;
 }
 
 void CoRfifoTransport::crash() {

@@ -117,11 +117,16 @@ class CoRfifoTransport {
     std::uint64_t peak_unacked = 0;        ///< max unacked entries, any peer
     std::uint64_t peak_out_of_order = 0;   ///< max reorder buffer, any peer
     std::uint64_t peak_pending = 0;        ///< max credit-stalled queue
+    /// Streams reset by the self-stabilization guards (DESIGN.md §12):
+    /// impossible ack/seq state detected at either end. Zero in any
+    /// corruption-free execution.
+    std::uint64_t corruption_resets = 0;
   };
 
   using DeliverFn =
       std::function<void(net::NodeId from, const std::any& payload)>;
   using BatchHookFn = std::function<void()>;
+  using ResetFn = std::function<void(net::NodeId peer)>;
 
   CoRfifoTransport(sim::Simulator& sim, net::Network& network,
                    net::NodeId self, Config config);
@@ -184,6 +189,21 @@ class CoRfifoTransport {
   /// Zero-cost otherwise (one branch per burst, not per packet).
   void set_trace(spec::TraceBus* trace) { trace_ = trace; }
 
+  /// Fired whenever a self-stabilization guard resets a stream because it
+  /// detected impossible ack/seq state (DESIGN.md §12). The upper layer uses
+  /// this to force a membership re-sync: a transport reset alone cannot heal
+  /// endpoint-level delivery-index drift — only a view change does.
+  void set_reset_handler(ResetFn fn) { reset_handler_ = std::move(fn); }
+
+  // State-corruption hooks (DESIGN.md §12, sim::FaultOp kCorrupt* kinds).
+  // Each mutates live stream state toward `peer` and returns false when no
+  // such stream exists (the injector records the op either way; a false
+  // return just means the draw hit a dormant stream).
+  bool corrupt_outgoing_seq(net::NodeId peer, std::uint64_t delta);
+  bool corrupt_ack_cursor(net::NodeId peer, std::uint64_t delta);
+  bool corrupt_drop_reliable(net::NodeId peer);
+  bool corrupt_backoff(net::NodeId peer, std::uint32_t value);
+
  private:
   struct Outgoing {
     std::uint64_t incarnation = 0;
@@ -217,6 +237,14 @@ class CoRfifoTransport {
   void schedule_ack(net::NodeId from);
   void arm_retransmit(net::NodeId to);
   std::uint64_t fresh_incarnation();
+  /// Re-home the stream to `to` under a fresh incarnation (shared by legit
+  /// peer reset requests and the corruption guards). `detected_corruption`
+  /// counts the reset in stats and fires the reset handler.
+  void reset_stream(net::NodeId to, bool detected_corruption);
+  /// Self-stabilization guard: verify the outgoing cursor invariants toward
+  /// `to` (unacked spans exactly (acked, next_seq)); on violation reset the
+  /// stream and return true. Holds by construction absent corruption.
+  bool audit_outgoing(net::NodeId to);
 
   sim::Simulator& sim_;
   net::Network& network_;
@@ -227,6 +255,7 @@ class CoRfifoTransport {
   DeliverFn raw_;
   BatchHookFn deliver_begin_;
   BatchHookFn deliver_end_;
+  ResetFn reset_handler_;
   spec::TraceBus* trace_ = nullptr;
 
   std::set<net::NodeId> reliable_set_;

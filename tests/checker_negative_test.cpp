@@ -13,6 +13,7 @@
 
 #include "spec/all_checkers.hpp"
 #include "spec/co_rfifo_checker.hpp"
+#include "spec/eventually.hpp"
 #include "spec/liveness_checker.hpp"
 #include "util/assert.hpp"
 
@@ -218,6 +219,211 @@ TEST(CheckerBundle, LivenessPremiseFailureIsNotAViolation) {
   // so check() reports "nothing to assert" instead of throwing.
   b.emit(GcsSend{kP1, msg(kP1, 1)});
   EXPECT_FALSE(LivenessChecker::check(b.bus.recorded()));
+}
+
+// ---------------------------------------------------------------------------
+// Eventual-safety bundle (spec/eventually.hpp, DESIGN.md §12): a corruption
+// FaultInjected opens a tolerance window; violations inside it are swallowed
+// and counted, the same violation after the window closes must still fire.
+// ---------------------------------------------------------------------------
+
+constexpr sim::Time kWindow = 10 * sim::kSecond;
+
+struct EventualBundle {
+  EventualBundle() : checkers(kWindow) {
+    bus.set_recording(true);
+    checkers.attach(bus);
+  }
+  void emit(EventBody body) { bus.emit(++t, std::move(body)); }
+  void emit_at(sim::Time at, EventBody body) {
+    t = at;
+    bus.emit(at, std::move(body));
+  }
+
+  TraceBus bus;
+  AllEventualCheckers checkers;
+  sim::Time t = 0;
+};
+
+/// Plants the same violation twice: once inside a corruption tolerance window
+/// (must be swallowed and counted) and once after the window closed (must
+/// fire with `tag`). Proves each *deployed* eventual checker is neither
+/// vacuous (post-window arm) nor exact (in-window arm).
+void expect_tolerated_then_fires(
+    const std::string& tag, const std::function<void(EventualBundle&)>& setup,
+    const std::function<void(EventualBundle&)>& plant) {
+  {
+    EventualBundle b;
+    b.emit(FaultInjected{"corrupt_seq", "in-window"});
+    setup(b);
+    const std::string what = violation_of([&] { plant(b); });
+    EXPECT_TRUE(what.empty())
+        << "in-window violation must be tolerated: " << what;
+    EXPECT_GT(b.checkers.tolerated(), 0u);
+  }
+  {
+    EventualBundle b;
+    b.emit(FaultInjected{"bug_corrupt_wedge", "post-window"});
+    setup(b);
+    b.t += kWindow + sim::kSecond;  // next emit lands past the deadline
+    const std::string what = violation_of([&] { plant(b); });
+    EXPECT_NE(what.find(tag), std::string::npos) << what;
+  }
+}
+
+TEST(EventualBundle, MbrshpToleratedInWindowFiresAfter) {
+  expect_tolerated_then_fires(
+      "MBRSHP",
+      [](EventualBundle& b) {
+        b.emit(MbrStartChange{kP1, StartChangeId{1}, {kP1}});
+        b.emit(MbrView{kP1, make_view(1, {kP1})});
+      },
+      [](EventualBundle& b) { b.emit(MbrView{kP2, make_view(1, {kP2})}); });
+}
+
+TEST(EventualBundle, WvRfifoToleratedInWindowFiresAfter) {
+  const View v1 = make_view(1, {kP1, kP2});
+  expect_tolerated_then_fires(
+      "WV_RFIFO",
+      [&](EventualBundle& b) {
+        b.emit(GcsView{kP1, v1, {kP1}});
+        b.emit(GcsView{kP2, v1, {kP2}});
+        b.emit(GcsSend{kP1, msg(kP1, 1)});
+        b.emit(GcsDeliver{kP2, kP1, msg(kP1, 1)});
+      },
+      [&](EventualBundle& b) { b.emit(GcsDeliver{kP2, kP1, msg(kP1, 1)}); });
+}
+
+TEST(EventualBundle, VsRfifoToleratedInWindowFiresAfter) {
+  const View v1 = make_view(1, {kP1, kP2});
+  const View v2 = make_view(2, {kP1, kP2}, 2);
+  expect_tolerated_then_fires(
+      "VS_RFIFO",
+      [&](EventualBundle& b) {
+        b.emit(GcsView{kP1, v1, {kP1}});
+        b.emit(GcsView{kP2, v1, {kP2}});
+        b.emit(GcsSend{kP1, msg(kP1, 1)});
+        b.emit(GcsDeliver{kP1, kP1, msg(kP1, 1)});
+        b.emit(GcsView{kP2, v2, {kP2}});
+      },
+      [&](EventualBundle& b) { b.emit(GcsView{kP1, v2, {kP1}}); });
+}
+
+TEST(EventualBundle, TransSetToleratedInWindowFiresAfter) {
+  expect_tolerated_then_fires(
+      "TRANS_SET", [](EventualBundle&) {},
+      [](EventualBundle& b) {
+        b.emit(GcsView{kP1, make_view(1, {kP1, kP2}), {kP1, kP2}});
+      });
+}
+
+TEST(EventualBundle, SelfToleratedInWindowFiresAfter) {
+  const View v1 = make_view(1, {kP1, kP2});
+  expect_tolerated_then_fires(
+      "SELF",
+      [&](EventualBundle& b) {
+        b.emit(GcsView{kP1, v1, {kP1}});
+        b.emit(GcsView{kP2, v1, {kP2}});
+        b.emit(GcsSend{kP1, msg(kP1, 1)});
+      },
+      [](EventualBundle& b) {
+        b.emit(GcsView{kP1, make_view(2, {kP1, kP2}, 2), {kP1}});
+      });
+}
+
+TEST(EventualBundle, ClientToleratedInWindowFiresAfter) {
+  expect_tolerated_then_fires(
+      "CLIENT", [](EventualBundle&) {},
+      [](EventualBundle& b) { b.emit(GcsBlockOk{kP1}); });
+}
+
+TEST(EventualBundle, NoCorruptionMeansExactSemantics) {
+  // Without a corruption event there is no window at all: the eventual
+  // bundle degenerates to the exact one, even at time zero.
+  EventualBundle b;
+  const std::string what = violation_of([&] { b.emit(GcsBlockOk{kP1}); });
+  EXPECT_NE(what.find("CLIENT"), std::string::npos) << what;
+  EXPECT_EQ(b.checkers.tolerated(), 0u);
+}
+
+TEST(EventualBundle, ResyncTracksPostCorruptionStateAfterToleratedViolation) {
+  EventualBundle b;
+  const View v1 = make_view(1, {kP1, kP2});
+  b.emit(FaultInjected{"corrupt_seq", ""});
+  b.emit(GcsView{kP1, v1, {kP1}});
+  b.emit(GcsView{kP2, v1, {kP2}});
+  b.emit(GcsSend{kP1, msg(kP1, 1)});
+  b.emit(GcsDeliver{kP2, kP1, msg(kP1, 1)});
+  b.emit(GcsDeliver{kP2, kP1, msg(kP1, 1)});  // duplicate: tolerated
+  EXPECT_EQ(b.checkers.wv_rfifo.tolerated(), 1u);
+  // The rebuilt automaton keeps checking: the next legal pair passes, and a
+  // post-window duplicate of it still fires.
+  b.emit(GcsSend{kP1, msg(kP1, 2)});
+  b.emit(GcsDeliver{kP2, kP1, msg(kP1, 2)});
+  b.t += kWindow;
+  const std::string what =
+      violation_of([&] { b.emit(GcsDeliver{kP2, kP1, msg(kP1, 2)}); });
+  EXPECT_NE(what.find("WV_RFIFO"), std::string::npos) << what;
+}
+
+TEST(EventualBundle, StabilizeExtendsAnOpenWindowButNeverReopensAClosedOne) {
+  const View v1 = make_view(1, {kP1, kP2});
+  const auto legal_stream = [&](EventualBundle& b) {
+    b.emit(GcsView{kP1, v1, {kP1}});
+    b.emit(GcsView{kP2, v1, {kP2}});
+    b.emit(GcsSend{kP1, msg(kP1, 1)});
+    b.emit(GcsDeliver{kP2, kP1, msg(kP1, 1)});
+  };
+  {
+    // corrupt at 1s => deadline 11s; stabilize at 9s extends it to 19s, so
+    // the duplicate at 15s is still recovery fallout.
+    EventualBundle b;
+    b.emit_at(1 * sim::kSecond, FaultInjected{"corrupt_ack", ""});
+    legal_stream(b);
+    b.emit_at(9 * sim::kSecond, FaultInjected{"stabilize", ""});
+    const std::string what = violation_of(
+        [&] { b.emit_at(15 * sim::kSecond, GcsDeliver{kP2, kP1, msg(kP1, 1)}); });
+    EXPECT_TRUE(what.empty()) << what;
+    EXPECT_EQ(b.checkers.wv_rfifo.tolerated(), 1u);
+  }
+  {
+    // stabilize at 20s arrives after the window closed at 11s: it must not
+    // reopen tolerance, so the duplicate at 21s fires.
+    EventualBundle b;
+    b.emit_at(1 * sim::kSecond, FaultInjected{"corrupt_ack", ""});
+    legal_stream(b);
+    b.emit_at(20 * sim::kSecond, FaultInjected{"stabilize", ""});
+    const std::string what = violation_of(
+        [&] { b.emit_at(21 * sim::kSecond, GcsDeliver{kP2, kP1, msg(kP1, 1)}); });
+    EXPECT_NE(what.find("WV_RFIFO"), std::string::npos) << what;
+  }
+}
+
+TEST(EventualBundle, FinalizeExemptsTransitionsInsideTheWindowOnly) {
+  const View v1 = make_view(1, {kP1, kP2});
+  const View v2 = make_view(2, {kP1, kP2}, 2);
+  {
+    // Both v1 -> v2 transitions land inside the window: Property 4.1's
+    // cross-process check exempts them (they may straddle the recovery).
+    EventualBundle b;
+    b.emit(FaultInjected{"corrupt_view_id", ""});
+    b.emit(GcsView{kP1, v1, {kP1}});
+    b.emit(GcsView{kP2, v1, {kP2}});
+    b.emit(GcsView{kP1, v2, {kP1}});  // omits p2: inconsistent sets
+    b.emit(GcsView{kP2, v2, {kP1, kP2}});
+    EXPECT_TRUE(violation_of([&] { b.checkers.finalize(); }).empty());
+  }
+  {
+    // The same inconsistency recorded after the window must still fire.
+    EventualBundle b;
+    b.emit(FaultInjected{"corrupt_view_id", ""});
+    b.emit(GcsView{kP1, v1, {kP1}});
+    b.emit(GcsView{kP2, v1, {kP2}});
+    b.emit_at(kWindow + 2 * sim::kSecond, GcsView{kP1, v2, {kP1}});
+    b.emit(GcsView{kP2, v2, {kP1, kP2}});
+    const std::string what = violation_of([&] { b.checkers.finalize(); });
+    EXPECT_NE(what.find("TRANS_SET"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

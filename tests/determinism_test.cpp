@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string_view>
 
 #include "app/world.hpp"
 #include "obs/trace_recorder.hpp"
+#include "sim/failure_injector.hpp"
 
 namespace vsgc {
 namespace {
@@ -88,6 +90,76 @@ TEST(Determinism, BatchedDataPlaneTraceIsByteIdentical) {
   const std::string b = run_batched_jsonl(7);
   EXPECT_FALSE(a.empty());
   EXPECT_EQ(a, b) << "batching must not leak nondeterminism into the trace";
+}
+
+// A corruption churn run (state mutators + the traffic that exposes them +
+// the recovery machinery they trigger) is still a pure function of the seed,
+// and replaying its recorded script reproduces the run byte for byte — the
+// contract vsgc_stress's corruption bundles and their minimizer rely on.
+std::string corruption_churn_jsonl(std::uint64_t injector_seed,
+                                   sim::FaultScript* out_script,
+                                   const sim::FaultScript* replay) {
+  app::WorldConfig cfg;
+  cfg.num_clients = 4;
+  cfg.num_servers = 2;
+  cfg.seed = 11;
+  cfg.eventual_checkers = true;
+  app::World w(cfg);
+  w.start();
+  w.run_until_converged(w.all_members(), 10 * sim::kSecond);
+
+  sim::FailureInjector::Policy policy;
+  policy.steps = 12;
+  policy.w_traffic = 6;
+  policy.w_crash = 0;
+  policy.w_recover = 0;
+  policy.w_leave = 0;
+  policy.w_rejoin = 0;
+  policy.w_partition = 0;
+  policy.w_heal = 0;
+  policy.w_link = 0;
+  policy.w_drop_spike = 0;
+  policy.w_delay_burst = 0;
+  policy.w_server_outage = 0;
+  policy.w_crash_in_delivery = 0;
+  policy.w_partition_in_view_change = 0;
+  policy.w_corrupt = 10;
+  sim::FailureInjector injector(w.fault_target(), policy, injector_seed);
+  if (replay != nullptr) {
+    injector.replay(*replay);
+  } else {
+    injector.run_churn();
+  }
+  if (out_script != nullptr) *out_script = injector.script();
+  injector.stabilize();
+  w.run_for(10 * sim::kSecond);
+
+  std::ostringstream os;
+  obs::write_jsonl(w.trace().recorded(), os);
+  return os.str();
+}
+
+TEST(Determinism, CorruptionChurnTraceIsByteIdentical) {
+  const std::string a = corruption_churn_jsonl(13, nullptr, nullptr);
+  const std::string b = corruption_churn_jsonl(13, nullptr, nullptr);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b)
+      << "state corruption must not leak nondeterminism into the trace";
+}
+
+TEST(Determinism, CorruptionScriptReplayReproducesTheTrace) {
+  sim::FaultScript script;
+  const std::string generated = corruption_churn_jsonl(13, &script, nullptr);
+  bool saw_corrupt = false;
+  for (const sim::FaultOp& op : script.ops) {
+    if (std::string_view(op.name()).starts_with("corrupt_")) {
+      saw_corrupt = true;
+    }
+  }
+  EXPECT_TRUE(saw_corrupt) << "the policy must have drawn corruption ops";
+  const std::string replayed = corruption_churn_jsonl(13, nullptr, &script);
+  EXPECT_EQ(generated, replayed)
+      << "replaying the recorded corruption script must reproduce the run";
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <set>
 #include <sstream>
+#include <string_view>
 
 #include "app/world.hpp"
 #include "obs/json.hpp"
@@ -63,6 +64,21 @@ FaultScript SampleScript() {
   traffic.a = 1;
   traffic.payload = "hello \x01 world";  // non-ASCII byte must round-trip
   script.ops.push_back(traffic);
+
+  FaultOp corrupt;
+  corrupt.at = 600 * sim::kMillisecond;
+  corrupt.kind = FaultOp::Kind::kCorruptSeq;
+  corrupt.a = 0;
+  corrupt.b = 1;
+  corrupt.v = 4;
+  script.ops.push_back(corrupt);
+
+  FaultOp wedge;
+  wedge.at = 700 * sim::kMillisecond;
+  wedge.kind = FaultOp::Kind::kBugCorruptWedge;
+  wedge.a = 1;
+  wedge.v = std::uint64_t{1} << 40;  // above-32-bit value must round-trip
+  script.ops.push_back(wedge);
   return script;
 }
 
@@ -91,6 +107,7 @@ TEST(FaultScript, JsonRoundTripPreservesEveryField) {
     EXPECT_EQ(a.t1, b.t1) << "op " << i;
     EXPECT_EQ(a.groups, b.groups) << "op " << i;
     EXPECT_EQ(a.payload, b.payload) << "op " << i;
+    EXPECT_EQ(a.v, b.v) << "op " << i;
   }
   // Serialization itself is byte-deterministic.
   EXPECT_EQ(text, back.to_json().dump());
@@ -273,6 +290,154 @@ TEST(FailureInjector, InjectedDuplicateDeliveryTripsTheCheckers) {
       << "the WV checker must catch the forged duplicate delivery";
 }
 
+// -- State-corruption family (DESIGN.md §12) ----------------------------------
+
+app::WorldConfig EventualWorld(int clients = 4, int servers = 2) {
+  app::WorldConfig cfg = SmallWorld(clients, servers);
+  cfg.eventual_checkers = true;  // corruption fallout is tolerated in-window
+  return cfg;
+}
+
+FaultOp CorruptAt(sim::Time at, FaultOp::Kind kind, int a, int b,
+                  std::uint64_t v) {
+  FaultOp op = At(at, kind, a);
+  op.b = b;
+  op.v = v;
+  return op;
+}
+
+TEST(FailureInjector, RecoverableCorruptionHealsAndReconverges) {
+  app::World w(EventualWorld(3, 1));
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+  // Seed the p0->p1 / p1->p0 streams with real traffic so the corruption ops
+  // hit live transport state.
+  w.client(0).send("warm0");
+  w.client(1).send("warm1");
+  w.run_for(2 * sim::kSecond);
+
+  const sim::Time t0 = w.sim().now();
+  FaultScript script;
+  script.ops.push_back(
+      CorruptAt(t0, FaultOp::Kind::kCorruptSeq, 0, 1, 4));
+  script.ops.push_back(
+      CorruptAt(t0, FaultOp::Kind::kCorruptAck, 1, 0, 3));
+  script.ops.push_back(
+      CorruptAt(t0, FaultOp::Kind::kCorruptReliable, 0, 1, 0));
+  script.ops.push_back(CorruptAt(t0, FaultOp::Kind::kCorruptView, 1, -1,
+                                 std::uint64_t{1} << 40));
+  script.ops.push_back(
+      CorruptAt(t0, FaultOp::Kind::kCorruptBackoff, 0, 1, 0));
+  FaultOp traffic;
+  traffic.at = t0;
+  traffic.kind = FaultOp::Kind::kTraffic;
+  traffic.a = 0;
+  traffic.payload = "detect";
+  script.ops.push_back(traffic);
+
+  FailureInjector injector(w.fault_target(), {}, 1);
+  injector.replay(script);
+  injector.stabilize();
+  EXPECT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond))
+      << "every recoverable corruption must self-stabilize";
+  w.run_for(2 * sim::kSecond);
+  w.finalize_checkers();  // window-aware end-of-run checks stay green
+
+  // At least one detection path fired: a transport incarnation reset or a
+  // membership client re-sync.
+  std::uint64_t repairs = 0;
+  for (int i = 0; i < 3; ++i) {
+    repairs += w.process(i).transport().stats().corruption_resets;
+    repairs += w.process(i).membership().resyncs();
+  }
+  EXPECT_GT(repairs, 0u);
+}
+
+TEST(FailureInjector, CorruptionSubsetsReplayWithoutFaulting) {
+  // The greedy minimizer probes arbitrary subsets of a corruption script;
+  // every subset must be a valid run that still reconverges.
+  app::World w(EventualWorld(3, 1));
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+  w.client(0).send("warm");
+  w.run_for(2 * sim::kSecond);
+
+  const sim::Time t0 = w.sim().now();
+  FaultScript script;
+  script.ops.push_back(
+      CorruptAt(t0, FaultOp::Kind::kCorruptSeq, 0, 1, 2));
+  script.ops.push_back(CorruptAt(t0 + sim::kSecond, FaultOp::Kind::kCorruptView,
+                                 1, -1, std::uint64_t{1} << 40));
+  script.ops.push_back(CorruptAt(t0 + 2 * sim::kSecond,
+                                 FaultOp::Kind::kCorruptAck, 0, 1, 5));
+  // Corruption aimed at a crashed process or a dead stream must no-op.
+  script.ops.push_back(CorruptAt(t0 + 2 * sim::kSecond,
+                                 FaultOp::Kind::kCorruptSeq, 2, 0, 9));
+
+  FailureInjector injector(w.fault_target(), {}, 1);
+  injector.replay(script, /*elide=*/{1, 3});
+  injector.stabilize();
+  EXPECT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond));
+  w.finalize_checkers();
+}
+
+TEST(FailureInjector, CorruptionChurnRecordsCorruptOpsAndRecovers) {
+  app::World w(EventualWorld(4, 2));
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+
+  FailureInjector::Policy policy;
+  policy.steps = 30;
+  policy.w_corrupt = 12;
+  FailureInjector injector(w.fault_target(), policy, 9);
+  injector.run_churn();
+  bool saw_corrupt = false;
+  for (const FaultOp& op : injector.script().ops) {
+    if (std::string_view(op.name()).starts_with("corrupt_")) {
+      saw_corrupt = true;
+    }
+  }
+  EXPECT_TRUE(saw_corrupt) << "w_corrupt must put corruption in the mix";
+
+  injector.stabilize();
+  EXPECT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond));
+  w.run_for(2 * sim::kSecond);
+  w.finalize_checkers();
+}
+
+TEST(FailureInjector, CorruptionWedgeBugDefeatsReconvergence) {
+  // bug_is_corruption plants kBugCorruptWedge: an unrecoverable view-epoch
+  // wedge the stabilize-and-reconverge epilogue must flag even under the
+  // eventual-safety bundle — the corruption twin of the dup-delivery hook.
+  app::World w(EventualWorld(3, 1));
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+
+  // Traffic-only churn: a crash + recover pair would reset the wedged
+  // endpoint's state wholesale and mask the planted bug.
+  FailureInjector::Policy policy;
+  policy.steps = 3;
+  policy.w_crash = 0;
+  policy.w_recover = 0;
+  policy.w_leave = 0;
+  policy.w_rejoin = 0;
+  policy.w_partition = 0;
+  policy.w_heal = 0;
+  policy.w_link = 0;
+  policy.w_drop_spike = 0;
+  policy.w_delay_burst = 0;
+  policy.w_server_outage = 0;
+  policy.w_crash_in_delivery = 0;
+  policy.w_partition_in_view_change = 0;
+  policy.bug_at_step = 1;
+  policy.bug_is_corruption = true;
+  FailureInjector injector(w.fault_target(), policy, 7);
+  injector.run_churn();
+  injector.stabilize();
+  EXPECT_FALSE(w.run_until_converged(w.all_members(), 60 * sim::kSecond))
+      << "the wedged endpoint must never re-enter an agreed view";
+}
+
 // -- Fault events land on the trace -------------------------------------------
 
 TEST(FailureInjector, PublishesFaultEventsOnTheTraceBus) {
@@ -293,6 +458,29 @@ TEST(FailureInjector, PublishesFaultEventsOnTheTraceBus) {
     }
   }
   EXPECT_TRUE(saw_fault);
+}
+
+TEST(FailureInjector, PublishesCorruptionFaultEventsOnTheTraceBus) {
+  app::World w(EventualWorld(3, 1));
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+  w.client(0).send("warm");
+  w.run_for(2 * sim::kSecond);
+
+  FaultScript script;
+  script.ops.push_back(
+      CorruptAt(w.sim().now(), FaultOp::Kind::kCorruptSeq, 0, 1, 2));
+  FailureInjector injector(w.fault_target(), {}, 1);
+  injector.replay(script);
+
+  bool saw_corrupt = false;
+  for (const spec::Event& ev : w.trace().recorded()) {
+    if (const auto* f = std::get_if<spec::FaultInjected>(&ev.body)) {
+      if (f->kind == "corrupt_seq") saw_corrupt = true;
+    }
+  }
+  EXPECT_TRUE(saw_corrupt)
+      << "corruption ops must land on the trace for replay/minimization";
 }
 
 }  // namespace

@@ -297,6 +297,57 @@ TEST(Scenario, FaultSlotPicksInjectFromTheMenu) {
       << "the forced crash must be observable in the trace";
 }
 
+TEST(Scenario, CorruptionMenuExtendsTheFaultVocabulary) {
+  ScenarioConfig sc = tiny_scenario();
+  sc.fault_slots = 1;
+  sc.corruption = true;
+  const std::vector<sim::FaultOp> menu = fault_menu(sc);
+  ASSERT_EQ(menu.size(), 11u);  // 6 base entries + 5 corruption kinds
+  EXPECT_EQ(menu[6].kind, sim::FaultOp::Kind::kCorruptSeq);
+  EXPECT_EQ(menu[7].kind, sim::FaultOp::Kind::kCorruptAck);
+  EXPECT_EQ(menu[8].kind, sim::FaultOp::Kind::kCorruptReliable);
+  EXPECT_EQ(menu[9].kind, sim::FaultOp::Kind::kCorruptView);
+  EXPECT_EQ(menu[10].kind, sim::FaultOp::Kind::kCorruptBackoff);
+
+  // The flag participates in the scenario JSON round-trip: a violation
+  // bundle's scenario.json must rebuild the eventual-checker world.
+  std::ostringstream os;
+  sc.to_json().write_pretty(os);
+  std::string error;
+  const obs::JsonValue parsed = obs::JsonValue::parse(os.str(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ScenarioConfig back;
+  ASSERT_TRUE(ScenarioConfig::from_json(parsed, &back));
+  EXPECT_TRUE(back.corruption);
+}
+
+TEST(Scenario, ForcedCorruptionPicksRecoverUnderTheEventualBundle) {
+  ScenarioConfig sc = tiny_scenario();
+  sc.fault_slots = 1;
+  sc.corruption = true;
+  const RunResult base = run_scenario(sc, {});
+  EXPECT_FALSE(base.violation) << base.what;
+  std::size_t fault_at = base.script.choices.size();
+  for (std::size_t i = 0; i < base.script.choices.size(); ++i) {
+    if (base.script.choices[i].kind == "mc.fault") {
+      fault_at = i;
+      break;
+    }
+  }
+  ASSERT_LT(fault_at, base.script.choices.size());
+  ASSERT_EQ(base.script.choices[fault_at].n, 12u);  // none + 11 menu entries
+
+  // Force each recoverable corruption (menu slots 6..10 => picks 7..11): the
+  // stack's detection + recovery paths must reconverge inside the tolerance
+  // window, so none of them reads as a violation.
+  for (std::uint32_t pick = 7; pick <= 11; ++pick) {
+    std::vector<std::uint32_t> picks(fault_at, 0);
+    picks.push_back(pick);
+    const RunResult r = run_scenario(sc, picks);
+    EXPECT_FALSE(r.violation) << "pick " << pick << ": " << r.what;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Explorer
 // ---------------------------------------------------------------------------
@@ -355,6 +406,40 @@ TEST(Explorer, FindsMinimizesAndReplaysThePlantedBug) {
       << "only the bug-menu pick should survive minimization";
 
   // The minimized schedule replays byte-identically.
+  const RunResult replay = run_scenario(sc, min_run.script.picks());
+  EXPECT_TRUE(replay.violation);
+  EXPECT_EQ(replay.what, min_run.what);
+  EXPECT_EQ(render(replay.trace), render(min_run.trace));
+}
+
+TEST(Explorer, FindsMinimizesAndReplaysThePlantedCorruptionWedge) {
+  // The corruption twin of the planted-bug pipeline: with corruption and
+  // inject_bug set, the menu's planted action is kBugCorruptWedge — an
+  // unrecoverable view-epoch corruption that only the stabilize epilogue's
+  // reconvergence check can flag (no exact checker fires in-window).
+  ScenarioConfig sc = tiny_scenario();
+  sc.corruption = true;
+  sc.inject_bug = true;
+  sc.fault_slots = 1;
+  ExploreConfig xc;
+  xc.max_deviations = 1;
+  xc.max_runs = 500;
+  Explorer explorer(sc, xc);
+  const auto found = explorer.explore();
+  ASSERT_TRUE(found.has_value()) << "the planted wedge is one deviation away";
+  EXPECT_TRUE(found->violation);
+  EXPECT_NE(found->what.find("liveness"), std::string::npos) << found->what;
+
+  const std::vector<std::uint32_t> min =
+      minimize_schedule(sc, found->script.picks());
+  const RunResult min_run = run_scenario(sc, min);
+  EXPECT_TRUE(min_run.violation);
+  EXPECT_EQ(min_run.script.deviations(), 1u)
+      << "only the wedge injection should survive minimization";
+
+  // Minimizer probes and the final replay are judged under the same
+  // eventual-safety window as the finding run, so the minimized schedule
+  // replays byte-identically with the identical violation.
   const RunResult replay = run_scenario(sc, min_run.script.picks());
   EXPECT_TRUE(replay.violation);
   EXPECT_EQ(replay.what, min_run.what);

@@ -207,7 +207,12 @@ int usage() {
       "usage: vsgc_mc [--clients N] [--servers M] [--seed S] [--messages K]\n"
       "               [--no-leave] [--fault-slots N] [--drop P]\n"
       "               [--jitter MICROS] [--max-deviations D] [--max-runs N]\n"
-      "               [--horizon H] [--inject-bug] [--walks LO:HI]\n"
+      "               [--horizon H] [--inject-bug] [--corrupt]\n"
+      "               [--walks LO:HI]\n"
+      "  --corrupt  add the state-corruption family to the fault menu and\n"
+      "             run the eventual-safety checker bundle; with\n"
+      "             --inject-bug the planted action becomes an unrecoverable\n"
+      "             view-epoch wedge\n"
       "               [--out DIR] [--no-minimize] [--expect-violation]\n"
       "               [--jobs N]\n"
       "  --jobs N   run N schedules in parallel (0 = all hardware threads);\n"
@@ -256,6 +261,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 10));
     } else if (arg == "--inject-bug") {
       cfg.scenario.inject_bug = true;
+    } else if (arg == "--corrupt") {
+      cfg.scenario.corruption = true;
     } else if (arg == "--walks") {
       const std::string v = value();
       const auto colon = v.find(':');

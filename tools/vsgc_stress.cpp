@@ -63,6 +63,14 @@ struct StressConfig {
   double drop = 0.0;
   bool two_tier = false;
   gcs::ForwardingKind forwarding = gcs::ForwardingKind::kMinCopies;
+  /// State-corruption mode (DESIGN.md §12): the churn policy draws corruption
+  /// ops, the world attaches the eventual-safety checker bundle (violations
+  /// tolerated inside eventual_window after an injection), and --inject-bug
+  /// plants the unrecoverable kBugCorruptWedge instead of the dup-delivery
+  /// forgery. Both fields round-trip through config.json so bundle replay and
+  /// the minimizer judge every script subset under the *same* window bound.
+  bool corrupt = false;
+  sim::Time eventual_window = 30 * sim::kSecond;
   int bug_at_step = -1;
   std::string out_dir = "stress-out";
   bool minimize = true;
@@ -82,6 +90,8 @@ obs::JsonValue config_json(const StressConfig& cfg, std::uint64_t seed) {
   j["forwarding"] =
       cfg.forwarding == gcs::ForwardingKind::kSimple ? "simple" : "mincopies";
   j["bug_at_step"] = cfg.bug_at_step;
+  j["corrupt"] = cfg.corrupt;
+  j["eventual_window"] = cfg.eventual_window;
   return j;
 }
 
@@ -98,6 +108,10 @@ bool config_from_json(const obs::JsonValue& j, StressConfig* cfg,
   if (const auto* v = j.find("bug_at_step")) {
     cfg->bug_at_step = static_cast<int>(v->as_int());
   }
+  if (const auto* v = j.find("corrupt")) cfg->corrupt = v->as_bool();
+  if (const auto* v = j.find("eventual_window")) {
+    cfg->eventual_window = v->as_int();
+  }
   if (const auto* v = j.find("forwarding")) {
     cfg->forwarding = v->as_string() == "simple" ? gcs::ForwardingKind::kSimple
                                                  : gcs::ForwardingKind::kMinCopies;
@@ -112,6 +126,8 @@ app::WorldConfig world_config(const StressConfig& cfg, std::uint64_t seed) {
   wc.seed = seed;
   wc.forwarding = cfg.forwarding;
   wc.net.drop_probability = cfg.drop;
+  wc.eventual_checkers = cfg.corrupt;
+  wc.eventual_window = cfg.eventual_window;
   if (cfg.two_tier) {
     wc.sync_routing.mode = gcs::SyncRouting::Mode::kTwoTier;
     const int half = (cfg.clients + 1) / 2;
@@ -128,6 +144,10 @@ sim::FailureInjector::Policy make_policy(const StressConfig& cfg) {
   policy.steps = cfg.steps;
   policy.base_drop = cfg.drop;
   policy.bug_at_step = cfg.bug_at_step;
+  if (cfg.corrupt) {
+    policy.w_corrupt = 6;
+    policy.bug_is_corruption = true;
+  }
   return policy;
 }
 
@@ -167,7 +187,7 @@ RunResult run_one(const StressConfig& cfg, std::uint64_t seed,
     w.client(0).send("stress-probe-" + std::to_string(seed));
     w.run_for(3 * sim::kSecond);
     w.check_transport_bounded();
-    w.checkers().finalize();
+    w.finalize_checkers();
     if (!spec::LivenessChecker::check(w.trace().recorded())) {
       throw InvariantViolation(
           "liveness: membership did not stabilize in the recorded trace");
@@ -301,7 +321,8 @@ int replay_bundle(StressConfig cfg) {
 int usage() {
   std::cerr <<
       "usage: vsgc_stress [--seeds LO:HI] [--clients N] [--servers M]\n"
-      "                   [--steps K] [--drop P] [--two-tier]\n"
+      "                   [--steps K] [--drop P] [--two-tier] [--corrupt]\n"
+      "                   [--eventual-window SECONDS]\n"
       "                   [--forwarding simple|mincopies] [--out DIR]\n"
       "                   [--no-minimize] [--inject-bug STEP]\n"
       "                   [--expect-violation] [--jobs N]\n"
@@ -345,6 +366,10 @@ int main(int argc, char** argv) {
       cfg.drop = std::atof(value().c_str());
     } else if (arg == "--two-tier") {
       cfg.two_tier = true;
+    } else if (arg == "--corrupt") {
+      cfg.corrupt = true;
+    } else if (arg == "--eventual-window") {
+      cfg.eventual_window = std::atoi(value().c_str()) * sim::kSecond;
     } else if (arg == "--forwarding") {
       cfg.forwarding = value() == "simple" ? gcs::ForwardingKind::kSimple
                                            : gcs::ForwardingKind::kMinCopies;
