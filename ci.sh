@@ -22,8 +22,16 @@ echo "== static analysis =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target vsgc_lint_tool validate_bench_json
 ARTIFACT_DIR="$BUILD_DIR/artifacts"
 mkdir -p "$ARTIFACT_DIR"
-"$BUILD_DIR/tools/vsgc_lint" --root . --json "$ARTIFACT_DIR/LINT_vsgc.json"
+# One pass emits both artifacts: the findings report (LINT_vsgc.json) and the
+# include-graph/sim-purity summary (LINT_deps.json + Graphviz module diagram).
+# The tree must be finding-free, which also enforces the sim-purity ratchet:
+# an unledgered sim dependency (growth) or a ledger line whose dependency is
+# gone (staleness) is an unsuppressed finding and fails this gate.
+"$BUILD_DIR/tools/vsgc_lint" --root . --json "$ARTIFACT_DIR/LINT_vsgc.json" \
+  --deps-json "$ARTIFACT_DIR/LINT_deps.json" \
+  --dot "$ARTIFACT_DIR/modules.dot"
 "$BUILD_DIR/tools/validate_bench_json" "$ARTIFACT_DIR/LINT_vsgc.json"
+"$BUILD_DIR/tools/validate_bench_json" "$ARTIFACT_DIR/LINT_deps.json"
 
 echo "== static analysis: batch engine hygiene =="
 # The thread-pool is the one threaded component in src/; it must pass the
@@ -43,6 +51,55 @@ if "$BUILD_DIR/tools/vsgc_lint" --root "$LINT_PLANT" > /dev/null; then
   exit 1
 fi
 echo "planted violation caught by vsgc_lint"
+
+echo "== static analysis self-check (architecture passes) =="
+# One scratch tree plants a violation per architecture-conformance rule
+# family; the linter must flag every family and exit non-zero. The stale
+# ledger entry also proves the ratchet's shrink direction is enforced, not
+# just its growth direction.
+ARCH_PLANT="$BUILD_DIR/lint-selfcheck-arch"
+rm -rf "$ARCH_PLANT"
+mkdir -p "$ARCH_PLANT/src/transport" "$ARCH_PLANT/src/gcs" \
+  "$ARCH_PLANT/src/util" "$ARCH_PLANT/tools"
+# layer-violation: transport (rank 30) reaching up into gcs (rank 50).
+printf '#pragma once\n#include "gcs/view.hpp"\n' \
+  > "$ARCH_PLANT/src/transport/up.hpp"
+printf '#pragma once\n' > "$ARCH_PLANT/src/gcs/view.hpp"
+# include-cycle: two util headers including each other.
+printf '#pragma once\n#include "util/b.hpp"\n' > "$ARCH_PLANT/src/util/a.hpp"
+printf '#pragma once\n#include "util/a.hpp"\n' > "$ARCH_PLANT/src/util/b.hpp"
+# sim-purity (growth): protocol header pulls in the event kernel unledgered.
+printf '#pragma once\n#include "sim/simulator.hpp"\n' \
+  > "$ARCH_PLANT/src/gcs/simdep.hpp"
+# sim-purity (staleness): ledger line whose dependency does not exist.
+printf 'src/gcs/gone.hpp symbol Simulator\n' \
+  > "$ARCH_PLANT/tools/sim_purity_ledger.txt"
+# codec-symmetry: decoder reads fields in the reverse of the encoded order.
+printf '%s\n' '#pragma once' 'struct Ping {' '  unsigned a = 0;' \
+  '  unsigned b = 0;' \
+  '  void encode(Encoder& enc) const { enc.put_u32(a); enc.put_u32(b); }' \
+  '  static Ping decode(Decoder& dec) {' '    Ping p;' \
+  '    p.b = dec.get_u32();' '    p.a = dec.get_u32();' '    return p;' \
+  '  }' '};' > "$ARCH_PLANT/src/gcs/messages.hpp"
+ARCH_OUT="$BUILD_DIR/lint-selfcheck-arch.out"
+if "$BUILD_DIR/tools/vsgc_lint" --root "$ARCH_PLANT" > "$ARCH_OUT"; then
+  echo "vsgc_lint failed to flag the planted architecture violations" >&2
+  cat "$ARCH_OUT" >&2
+  exit 1
+fi
+for rule in layer-violation include-cycle sim-purity codec-symmetry; do
+  if ! grep -q "\[$rule\]" "$ARCH_OUT"; then
+    echo "vsgc_lint missed the planted $rule violation:" >&2
+    cat "$ARCH_OUT" >&2
+    exit 1
+  fi
+done
+if ! grep -q "stale ledger entry" "$ARCH_OUT"; then
+  echo "vsgc_lint missed the planted stale sim-purity ledger entry" >&2
+  cat "$ARCH_OUT" >&2
+  exit 1
+fi
+echo "planted layer/cycle/sim-purity/codec violations all caught"
 
 # clang-tidy half of the gate; skips with a notice when not installed.
 tools/run_clang_tidy.sh "$BUILD_DIR"

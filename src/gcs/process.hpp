@@ -11,7 +11,7 @@
 #include "gcs/gcs_endpoint.hpp"
 #include "membership/membership_client.hpp"
 #include "net/network.hpp"
-#include "sim/simulator.hpp"
+#include "sim/time.hpp"
 #include "spec/events.hpp"
 
 namespace vsgc::gcs {

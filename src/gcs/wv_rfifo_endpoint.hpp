@@ -28,7 +28,7 @@
 #include "gcs/messages.hpp"
 #include "membership/interface.hpp"
 #include "membership/view.hpp"
-#include "sim/simulator.hpp"
+#include "sim/time.hpp"
 #include "spec/events.hpp"
 #include "transport/co_rfifo.hpp"
 

@@ -1,0 +1,827 @@
+// Architecture-conformance passes: include-graph layering, sim-purity
+// ledger, and wire-codec symmetry. See deps.hpp for the pass contracts and
+// DESIGN.md §8 for the module-layer table these passes enforce.
+#include "lint/deps.hpp"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace vsgc::lint {
+
+namespace {
+
+using Toks = std::vector<Token>;
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool is_id(const Toks& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kIdentifier && t[i].text == s;
+}
+
+bool is_punct(const Toks& t, std::size_t i, char c) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text[0] == c;
+}
+
+/// Index just past the brace/paren that matches the opener at `open_idx`.
+/// Returns t.size() when unbalanced (degrade gracefully, never throw).
+std::size_t skip_balanced(const Toks& t, std::size_t open_idx, char open,
+                          char close) {
+  int depth = 0;
+  for (std::size_t i = open_idx; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    if (t[i].text[0] == open) ++depth;
+    if (t[i].text[0] == close && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+}  // namespace
+
+// --- include extraction -----------------------------------------------------
+
+std::vector<RawInclude> extract_includes(const std::vector<Token>& toks) {
+  std::vector<RawInclude> out;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kPreprocessor) continue;
+    // Directive text starts with '#'; continuations are already folded.
+    std::size_t p = 1;
+    while (p < t.text.size() && (t.text[p] == ' ' || t.text[p] == '\t')) ++p;
+    if (t.text.compare(p, 7, "include") != 0) continue;
+    const std::size_t q = t.text.find_first_of("\"<", p + 7);
+    if (q == std::string::npos) continue;
+    const char closer = t.text[q] == '"' ? '"' : '>';
+    const std::size_t e = t.text.find(closer, q + 1);
+    if (e == std::string::npos) continue;
+    out.push_back({t.line, t.text.substr(q + 1, e - q - 1), closer == '>'});
+  }
+  return out;
+}
+
+// --- sim-purity scan --------------------------------------------------------
+
+bool in_sim_purity_scope(std::string_view rel_path) {
+  return starts_with(rel_path, "src/transport/") ||
+         starts_with(rel_path, "src/gcs/") ||
+         starts_with(rel_path, "src/membership/");
+}
+
+std::vector<SimUse> find_sim_uses(const std::vector<Token>& toks,
+                                  const std::vector<RawInclude>& includes) {
+  // sim/time.hpp is the sanctioned surface (Time/Duration/TimerHandle value
+  // types); every other sim/ header pulls in the event kernel.
+  static constexpr std::array<std::string_view, 4> kSimTypes = {
+      "Simulator", "TimerHandle", "NondetSource", "FailureInjector"};
+  static constexpr std::array<std::string_view, 4> kSchedCalls = {
+      "schedule", "schedule_at", "schedule_in", "schedule_after"};
+
+  std::vector<SimUse> out;
+  std::set<std::pair<std::string, std::string>> seen;
+  auto add = [&](int line, const char* kind, const std::string& detail) {
+    if (seen.insert({kind, detail}).second) out.push_back({line, kind, detail});
+  };
+
+  for (const RawInclude& inc : includes) {
+    if (!inc.angled && starts_with(inc.spec, "sim/") &&
+        inc.spec != "sim/time.hpp") {
+      add(inc.line, "include", inc.spec);
+    }
+  }
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier) continue;
+    for (std::string_view s : kSimTypes) {
+      if (toks[i].text == s) add(toks[i].line, "symbol", toks[i].text);
+    }
+    for (std::string_view s : kSchedCalls) {
+      if (toks[i].text == s && is_punct(toks, i + 1, '(')) {
+        add(toks[i].line, "symbol", toks[i].text);
+      }
+    }
+  }
+  return out;
+}
+
+// --- module layer table -----------------------------------------------------
+
+int module_rank(std::string_view module) {
+  static constexpr std::array<std::pair<std::string_view, int>, 9> kRanks = {{
+      {"util", 0},
+      {"sim", 10},
+      {"net", 20},
+      {"transport", 30},
+      {"membership", 40},
+      {"gcs", 50},
+      {"baseline", 60},
+      {"app", 70},
+      {"mc", 80},
+  }};
+  for (const auto& [name, rank] : kRanks) {
+    if (module == name) return rank;
+  }
+  return -1;
+}
+
+std::string module_of(std::string_view rel_path) {
+  if (starts_with(rel_path, "src/")) {
+    const std::string_view rest = rel_path.substr(4);
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string_view::npos) {
+      return std::string(rest.substr(0, slash));
+    }
+    return "";
+  }
+  for (std::string_view top : {"tools", "tests", "bench"}) {
+    if (starts_with(rel_path, std::string(top) + "/")) {
+      return std::string(top);
+    }
+  }
+  return "";
+}
+
+namespace {
+
+bool is_harness(std::string_view m) {
+  return m == "tools" || m == "tests" || m == "bench";
+}
+
+bool among(std::string_view m, std::initializer_list<std::string_view> set) {
+  for (std::string_view s : set) {
+    if (m == s) return true;
+  }
+  return false;
+}
+
+/// nullptr = the edge is allowed; otherwise the reason it is not.
+const char* edge_violation(std::string_view mf, std::string_view mg) {
+  if (mf.empty() || mg.empty()) return nullptr;  // unknown dirs: no verdict
+  if (mf == mg) return nullptr;
+  if (mg == "util") return nullptr;
+  if (is_harness(mf)) {
+    if (is_harness(mg)) {
+      return "harness trees (tools/tests/bench) stay independent of each "
+             "other";
+    }
+    return nullptr;  // harness code may include any src module
+  }
+  if (is_harness(mg)) {
+    return "src/ code must never depend on harness code (tools/tests/bench)";
+  }
+  if (mf == "spec") {
+    if (among(mg, {"sim", "net", "transport", "membership", "gcs"})) {
+      return nullptr;
+    }
+    return "spec observes the protocol stack; it may include only "
+           "util/sim/net/transport/membership/gcs";
+  }
+  if (mf == "obs") {
+    if (among(mg, {"sim", "net", "transport", "membership", "gcs", "spec"})) {
+      return nullptr;
+    }
+    return "obs observes; it may include only "
+           "util/sim/net/transport/membership/gcs/spec";
+  }
+  if (mf == "lint") {
+    if (mg == "obs") return nullptr;
+    return "lint is dependency-free tooling; it may include only util and "
+           "obs";
+  }
+  if (mg == "spec") {
+    if (mf == "util") {
+      return "util is the bottom layer; it includes nothing above itself";
+    }
+    return nullptr;  // the spec observer is includable by every src module
+  }
+  if (mg == "obs") {
+    if (among(mf, {"sim", "mc"})) return nullptr;
+    return "obs is includable only by sim, mc, lint, and harness code";
+  }
+  if (mg == "lint") return "only harness code may include lint";
+  const int rf = module_rank(mf);
+  const int rg = module_rank(mg);
+  if (rf >= 0 && rg >= 0 && rf < rg) {
+    return "protocol layers depend strictly downward";
+  }
+  return nullptr;
+}
+
+/// Resolve a quoted include spec against the scanned-file set: repo includes
+/// are rooted at src/ (the -I path), harness files may also be named from
+/// the repo root or relative to the including file. External/system headers
+/// resolve to "".
+std::string resolve_include(const std::set<std::string>& fileset,
+                            const std::string& from, const RawInclude& inc) {
+  if (inc.angled) return "";
+  if (fileset.count("src/" + inc.spec) != 0) return "src/" + inc.spec;
+  if (fileset.count(inc.spec) != 0) return inc.spec;
+  const std::size_t slash = from.rfind('/');
+  if (slash != std::string::npos) {
+    const std::string sibling = from.substr(0, slash + 1) + inc.spec;
+    if (fileset.count(sibling) != 0) return sibling;
+  }
+  return "";
+}
+
+}  // namespace
+
+// --- include graph: layering + cycles --------------------------------------
+
+void analyze_includes(
+    const std::map<std::string, std::vector<RawInclude>>& includes_by_file,
+    std::map<std::string, std::vector<Finding>>& findings_by_file,
+    DepsResult& result) {
+  std::set<std::string> fileset;
+  for (const auto& [path, incs] : includes_by_file) fileset.insert(path);
+  result.files = static_cast<int>(fileset.size());
+
+  std::map<std::string, std::vector<std::pair<std::string, int>>> adj;
+  std::map<std::pair<std::string, std::string>, int> module_edges;
+  for (const auto& [from, incs] : includes_by_file) {
+    const std::string mf = module_of(from);
+    if (!mf.empty()) ++result.module_files[mf];
+    for (const RawInclude& inc : incs) {
+      const std::string to = resolve_include(fileset, from, inc);
+      if (to.empty()) {
+        ++result.external_includes;
+        continue;
+      }
+      ++result.internal_edges;
+      adj[from].push_back({to, inc.line});
+      const std::string mg = module_of(to);
+      if (!mf.empty() && !mg.empty() && mf != mg) {
+        ++module_edges[{mf, mg}];
+      }
+      if (const char* why = edge_violation(mf, mg)) {
+        ++result.layer_violations;
+        findings_by_file[from].push_back(
+            {from, inc.line, "layer-violation",
+             "include of \"" + inc.spec + "\" reaches module '" + mg +
+                 "' from module '" + mf + "': " + why,
+             false, ""});
+      }
+    }
+  }
+  for (const auto& [edge, count] : module_edges) {
+    result.module_edges.push_back({edge.first, edge.second, count});
+  }
+
+  // File-level cycle detection (module-level cycles like gcs <-> spec are
+  // expected; the file graph must stay a DAG or builds become order-fragile).
+  std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    stack.push_back(u);
+    for (const auto& [v, line] : adj[u]) {
+      if (color[v] == 1) {
+        auto it = std::find(stack.begin(), stack.end(), v);
+        std::vector<std::string> cyc(it, stack.end());
+        std::rotate(cyc.begin(), std::min_element(cyc.begin(), cyc.end()),
+                    cyc.end());
+        std::string desc;
+        for (const std::string& n : cyc) desc += n + " -> ";
+        desc += cyc.front();
+        if (!reported.insert(desc).second) continue;
+        result.cycles.push_back(desc);
+        const std::string& anchor = cyc.front();
+        const std::string& next = cyc.size() > 1 ? cyc[1] : cyc.front();
+        int anchor_line = 1;
+        for (const auto& [t, l] : adj[anchor]) {
+          if (t == next) {
+            anchor_line = l;
+            break;
+          }
+        }
+        findings_by_file[anchor].push_back(
+            {anchor, anchor_line, "include-cycle", "include cycle: " + desc,
+             false, ""});
+      } else if (color[v] == 0) {
+        dfs(v);
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+  };
+  for (const auto& [path, incs] : includes_by_file) {
+    if (color[path] == 0) dfs(path);
+  }
+  std::sort(result.cycles.begin(), result.cycles.end());
+}
+
+// --- sim-purity ledger ------------------------------------------------------
+
+Ledger parse_ledger(const std::string& display_path, const std::string& text) {
+  Ledger lg;
+  lg.display_path = display_path;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string file, kind, detail, extra;
+    if (!(fields >> file)) continue;       // blank line
+    if (file[0] == '#') continue;          // comment
+    if (!(fields >> kind >> detail) || (fields >> extra) ||
+        (kind != "include" && kind != "symbol")) {
+      lg.parse_findings.push_back(
+          {display_path, line_no, "sim-purity",
+           "malformed ledger line; expected '<path> include|symbol <detail>'",
+           false, ""});
+      continue;
+    }
+    lg.entries.push_back({line_no, file, kind, detail, false});
+  }
+  return lg;
+}
+
+void check_sim_purity(
+    const std::map<std::string, std::vector<SimUse>>& uses_by_file,
+    Ledger& ledger,
+    std::map<std::string, std::vector<Finding>>& findings_by_file,
+    DepsResult& result) {
+  for (const auto& [file, uses] : uses_by_file) {
+    for (const SimUse& u : uses) {
+      ++result.sim_entries;
+      bool ledgered = false;
+      for (LedgerEntry& e : ledger.entries) {
+        if (e.file == file && e.kind == u.kind && e.detail == u.detail) {
+          e.matched = true;
+          ledgered = true;
+          break;
+        }
+      }
+      if (ledgered) {
+        ++result.sim_ledgered;
+        findings_by_file[file].push_back(
+            {file, u.line, "sim-purity",
+             "sim dependency '" + u.detail + "' (" + u.kind + ")", true,
+             "ledgered in " + ledger.display_path +
+                 " (ratchet: the ledger only shrinks)"});
+      } else {
+        ++result.sim_unledgered;
+        findings_by_file[file].push_back(
+            {file, u.line, "sim-purity",
+             "protocol code depends on sim-only '" + u.detail + "' (" +
+                 u.kind + ") not recorded in " + ledger.display_path +
+                 "; the ledger only shrinks — use the sim/time.hpp surface "
+                 "instead of adding sim debt",
+             false, ""});
+      }
+    }
+  }
+  for (const LedgerEntry& e : ledger.entries) {
+    if (e.matched) continue;
+    ++result.sim_stale;
+    findings_by_file[ledger.display_path].push_back(
+        {ledger.display_path, e.line, "sim-purity",
+         "stale ledger entry '" + e.file + " " + e.kind + " " + e.detail +
+             "': the dependency is gone; delete this line to ratchet the "
+             "debt down",
+         false, ""});
+  }
+  for (const Finding& f : ledger.parse_findings) {
+    findings_by_file[ledger.display_path].push_back(f);
+  }
+}
+
+// --- codec symmetry ---------------------------------------------------------
+
+namespace {
+
+struct CodecMethod {
+  bool present = false;
+  int line = 0;
+  std::size_t begin = 0;  ///< first token inside the body braces
+  std::size_t end = 0;    ///< one past the last body token
+};
+
+struct WireStruct {
+  std::string name;
+  int line = 0;
+  std::vector<std::pair<std::string, int>> members;  ///< (name, decl line)
+  CodecMethod enc;
+  CodecMethod dec;
+};
+
+/// Member/method scan for one struct body. Unlike rule_wire_init this keeps
+/// the bodies of methods named encode/decode (wire-init's `static` skip
+/// would swallow `static T decode(...)`) and drops static data members.
+void scan_struct_body(const Toks& toks, std::size_t open, std::size_t end,
+                      WireStruct& ws) {
+  static constexpr std::array<std::string_view, 9> kSkipLeaders = {
+      "friend", "using",  "typedef", "template", "operator",
+      "enum",   "struct", "class",   "union"};
+  std::size_t pos = open + 1;
+  while (pos + 1 < end) {
+    if ((is_id(toks, pos, "public") || is_id(toks, pos, "private") ||
+         is_id(toks, pos, "protected")) &&
+        is_punct(toks, pos + 1, ':')) {
+      pos += 2;
+      continue;
+    }
+    bool skip_stmt = false;
+    for (std::string_view kw : kSkipLeaders) {
+      if (is_id(toks, pos, kw)) skip_stmt = true;
+    }
+    if (skip_stmt) {
+      while (pos < end && !is_punct(toks, pos, ';')) {
+        if (is_punct(toks, pos, '{')) {
+          pos = skip_balanced(toks, pos, '{', '}');
+          continue;
+        }
+        ++pos;
+      }
+      ++pos;
+      continue;
+    }
+
+    // Strip storage/qualifier leaders; static/constexpr data is not a wire
+    // field.
+    bool is_static = false;
+    std::size_t j = pos;
+    while (j < end &&
+           (is_id(toks, j, "static") || is_id(toks, j, "constexpr") ||
+            is_id(toks, j, "inline") || is_id(toks, j, "mutable") ||
+            is_id(toks, j, "virtual"))) {
+      if (is_id(toks, j, "static") || is_id(toks, j, "constexpr")) {
+        is_static = true;
+      }
+      ++j;
+    }
+
+    // Classify by the first depth-0 punctuation: '(' => function,
+    // '='/'{' => initialized member, ';' => uninitialized member.
+    std::size_t last_ident = 0;
+    bool found = false;
+    int angle = 0;
+    char what = 0;
+    std::size_t stop = j;
+    for (std::size_t k = j; k < end; ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kIdentifier) {
+        if (angle == 0) {
+          last_ident = k;
+          found = true;
+        }
+        continue;
+      }
+      if (t.kind == TokKind::kPunct) {
+        const char c = t.text[0];
+        if (c == '<') ++angle;
+        if (c == '>' && angle > 0) --angle;
+        if (angle == 0 && (c == '(' || c == '=' || c == '{' || c == ';')) {
+          what = c;
+          stop = k;
+          break;
+        }
+      }
+    }
+    if (what == 0) break;  // ran off the struct body; degrade gracefully
+
+    if (what == '(') {
+      const std::string fname = found ? toks[last_ident].text : "";
+      std::size_t b = skip_balanced(toks, stop, '(', ')');
+      while (b < end && !is_punct(toks, b, '{') && !is_punct(toks, b, ';')) {
+        if (is_punct(toks, b, '(')) {
+          b = skip_balanced(toks, b, '(', ')');
+          continue;
+        }
+        ++b;
+      }
+      if (b < end && is_punct(toks, b, '{')) {
+        const std::size_t bend = skip_balanced(toks, b, '{', '}');
+        if (fname == "encode" && !ws.enc.present) {
+          ws.enc = {true, toks[stop].line, b + 1, bend - 1};
+        }
+        if (fname == "decode" && !ws.dec.present) {
+          ws.dec = {true, toks[stop].line, b + 1, bend - 1};
+        }
+        pos = bend;
+        if (pos < end && is_punct(toks, pos, ';')) ++pos;
+      } else {
+        pos = b < end ? b + 1 : end;
+      }
+      continue;
+    }
+
+    if (found && !is_static) {
+      ws.members.push_back({toks[last_ident].text, toks[last_ident].line});
+    }
+    std::size_t k = stop;
+    while (k < end && !is_punct(toks, k, ';')) {
+      if (is_punct(toks, k, '{')) {
+        k = skip_balanced(toks, k, '{', '}');
+        continue;
+      }
+      if (is_punct(toks, k, '(')) {
+        k = skip_balanced(toks, k, '(', ')');
+        continue;
+      }
+      ++k;
+    }
+    pos = k + 1;
+  }
+}
+
+std::vector<WireStruct> scan_wire_structs(const Toks& toks) {
+  std::vector<WireStruct> out;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_id(toks, i, "struct") && !is_id(toks, i, "class")) continue;
+    if (toks[i + 1].kind != TokKind::kIdentifier) continue;
+    std::size_t open = i + 2;
+    bool has_body = false;
+    while (open < toks.size()) {
+      if (is_punct(toks, open, '{')) {
+        has_body = true;
+        break;
+      }
+      if (is_punct(toks, open, ';')) break;
+      ++open;
+    }
+    if (!has_body) continue;
+    WireStruct ws;
+    ws.name = toks[i + 1].text;
+    ws.line = toks[i].line;
+    scan_struct_body(toks, open, skip_balanced(toks, open, '{', '}'), ws);
+    out.push_back(std::move(ws));
+  }
+  return out;
+}
+
+/// Ordered field mentions of a codec body. The body is split into chunks at
+/// statement ';' (outside parens, so classic for-headers stay whole); a
+/// chunk contributes its member-name mentions iff it touches the codec
+/// object (`enc`/`dec`) — guard clauses and local bookkeeping stay silent.
+/// Adjacent duplicates merge, so the count-then-loop container pattern
+/// (`enc.put_u32(cut.size()); for (... : cut) ...`) counts once.
+std::vector<std::string> codec_sequence(
+    const Toks& toks, const CodecMethod& m, std::string_view marker,
+    const std::vector<std::pair<std::string, int>>& members) {
+  auto is_member = [&](const std::string& s) {
+    for (const auto& [name, line] : members) {
+      if (name == s) return true;
+    }
+    return false;
+  };
+  std::vector<std::string> seq;
+  std::size_t chunk_start = m.begin;
+  int paren = 0;
+  for (std::size_t i = m.begin; i <= m.end; ++i) {
+    bool boundary = i == m.end;
+    if (!boundary && toks[i].kind == TokKind::kPunct) {
+      const char c = toks[i].text[0];
+      if (c == '(') ++paren;
+      if (c == ')' && paren > 0) --paren;
+      if (c == ';' && paren == 0) boundary = true;
+    }
+    if (!boundary) continue;
+    bool relevant = false;
+    for (std::size_t k = chunk_start; k < i; ++k) {
+      if (is_id(toks, k, marker)) {
+        relevant = true;
+        break;
+      }
+    }
+    if (relevant) {
+      for (std::size_t k = chunk_start; k < i; ++k) {
+        if (toks[k].kind == TokKind::kIdentifier && is_member(toks[k].text)) {
+          seq.push_back(toks[k].text);
+        }
+      }
+    }
+    chunk_start = i + 1;
+  }
+  std::vector<std::string> merged;
+  for (const std::string& s : seq) {
+    if (merged.empty() || merged.back() != s) merged.push_back(s);
+  }
+  return merged;
+}
+
+/// Aggregate-return decode (`return ViewMsg{View::decode(dec)}`): argument i
+/// initializes declared field i, so each argument that touches the decoder
+/// contributes that field positionally.
+void positional_decode(const Toks& toks, const CodecMethod& m,
+                       const std::string& struct_name,
+                       const std::vector<std::pair<std::string, int>>& members,
+                       std::vector<std::string>& seq) {
+  for (std::size_t i = m.begin; i + 2 < m.end; ++i) {
+    if (!is_id(toks, i, "return") || !is_id(toks, i + 1, struct_name) ||
+        !is_punct(toks, i + 2, '{')) {
+      continue;
+    }
+    const std::size_t close = skip_balanced(toks, i + 2, '{', '}');
+    std::size_t arg_start = i + 3;
+    std::size_t idx = 0;
+    int depth = 0;
+    auto flush = [&](std::size_t arg_end) {
+      if (arg_end <= arg_start) return;
+      bool relevant = false;
+      for (std::size_t k = arg_start; k < arg_end; ++k) {
+        if (is_id(toks, k, "dec") || is_id(toks, k, "decode")) relevant = true;
+      }
+      if (relevant && idx < members.size()) {
+        seq.push_back(members[idx].first);
+      }
+      ++idx;
+    };
+    for (std::size_t k = i + 3; k + 1 < close; ++k) {
+      if (toks[k].kind != TokKind::kPunct) continue;
+      const char c = toks[k].text[0];
+      if (c == '(' || c == '{') ++depth;
+      if (c == ')' || c == '}') --depth;
+      if (c == ',' && depth == 0) {
+        flush(k);
+        arg_start = k + 1;
+      }
+    }
+    flush(close - 1);
+    return;
+  }
+}
+
+int count_of(const std::vector<std::string>& seq, const std::string& name) {
+  return static_cast<int>(std::count(seq.begin(), seq.end(), name));
+}
+
+std::string join_fields(const std::vector<std::string>& seq) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i != 0) s += ", ";
+    s += seq[i];
+  }
+  return s + "]";
+}
+
+}  // namespace
+
+void rule_codec_symmetry(const std::string& path,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>& out) {
+  for (const WireStruct& ws : scan_wire_structs(toks)) {
+    if (!ws.enc.present && !ws.dec.present) continue;
+    if (ws.enc.present != ws.dec.present) {
+      out.push_back({path, ws.line, "codec-symmetry",
+                     "wire struct '" + ws.name + "' has " +
+                         (ws.enc.present ? "encode() but no decode()"
+                                         : "decode() but no encode()") +
+                         "; a one-sided codec cannot round-trip",
+                     false, ""});
+      continue;
+    }
+    if (ws.members.empty()) continue;
+
+    const std::vector<std::string> enc_seq =
+        codec_sequence(toks, ws.enc, "enc", ws.members);
+    std::vector<std::string> dec_seq =
+        codec_sequence(toks, ws.dec, "dec", ws.members);
+    if (dec_seq.empty()) {
+      positional_decode(toks, ws.dec, ws.name, ws.members, dec_seq);
+    }
+
+    for (const auto& [name, line] : ws.members) {
+      const int ce = count_of(enc_seq, name);
+      const int cd = count_of(dec_seq, name);
+      if (ce == 0) {
+        out.push_back({path, line, "codec-symmetry",
+                       "field '" + name + "' of wire struct '" + ws.name +
+                           "' is never encoded; every wire field must be "
+                           "written exactly once",
+                       false, ""});
+      } else if (ce > 1) {
+        out.push_back({path, line, "codec-symmetry",
+                       "field '" + name + "' of wire struct '" + ws.name +
+                           "' is encoded " + std::to_string(ce) +
+                           " times (non-consecutively); it must be written "
+                           "exactly once",
+                       false, ""});
+      }
+      if (cd == 0) {
+        out.push_back({path, line, "codec-symmetry",
+                       "field '" + name + "' of wire struct '" + ws.name +
+                           "' is never decoded; the decoder must read every "
+                           "encoded field",
+                       false, ""});
+      } else if (cd > 1) {
+        out.push_back({path, line, "codec-symmetry",
+                       "field '" + name + "' of wire struct '" + ws.name +
+                           "' is decoded " + std::to_string(cd) +
+                           " times (non-consecutively); it must be read "
+                           "exactly once",
+                       false, ""});
+      }
+    }
+
+    // Order check over the fields both sides touch: the decoder must read
+    // them in exactly the order the encoder wrote them.
+    auto restrict_common = [&](const std::vector<std::string>& seq,
+                               const std::vector<std::string>& other) {
+      std::vector<std::string> r;
+      for (const std::string& s : seq) {
+        if (count_of(other, s) > 0) r.push_back(s);
+      }
+      return r;
+    };
+    const std::vector<std::string> enc_common =
+        restrict_common(enc_seq, dec_seq);
+    const std::vector<std::string> dec_common =
+        restrict_common(dec_seq, enc_seq);
+    if (enc_common != dec_common) {
+      out.push_back({path, ws.dec.line, "codec-symmetry",
+                     "decode order differs from encode order in wire struct "
+                     "'" +
+                         ws.name + "': encoded " + join_fields(enc_common) +
+                         ", decoded " + join_fields(dec_common),
+                     false, ""});
+    }
+  }
+}
+
+// --- artifacts --------------------------------------------------------------
+
+obs::JsonValue deps_to_json(const DepsResult& result,
+                            const std::string& root) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["tool"] = "vsgc_deps";
+  doc["schema_version"] = 1;
+  doc["root"] = root;
+  doc["files"] = result.files;
+  doc["internal_edges"] = result.internal_edges;
+  doc["external_includes"] = result.external_includes;
+
+  std::vector<std::pair<std::string, int>> mods(result.module_files.begin(),
+                                                result.module_files.end());
+  std::stable_sort(mods.begin(), mods.end(),
+                   [](const auto& a, const auto& b) {
+                     return module_rank(a.first) < module_rank(b.first);
+                   });
+  obs::JsonValue modules = obs::JsonValue::array();
+  for (const auto& [name, files] : mods) {
+    obs::JsonValue m = obs::JsonValue::object();
+    m["name"] = name;
+    m["rank"] = module_rank(name);
+    m["files"] = files;
+    modules.push_back(std::move(m));
+  }
+  doc["modules"] = std::move(modules);
+
+  obs::JsonValue edges = obs::JsonValue::array();
+  for (const ModuleEdge& e : result.module_edges) {
+    obs::JsonValue row = obs::JsonValue::object();
+    row["from"] = e.from;
+    row["to"] = e.to;
+    row["count"] = e.count;
+    edges.push_back(std::move(row));
+  }
+  doc["module_edges"] = std::move(edges);
+
+  doc["cycles"] = static_cast<int>(result.cycles.size());
+  doc["layer_violations"] = result.layer_violations;
+  obs::JsonValue sim = obs::JsonValue::object();
+  sim["entries"] = result.sim_entries;
+  sim["ledgered"] = result.sim_ledgered;
+  sim["unledgered"] = result.sim_unledgered;
+  sim["stale"] = result.sim_stale;
+  doc["sim_purity"] = std::move(sim);
+  return doc;
+}
+
+std::string deps_to_dot(const DepsResult& result) {
+  // Module-level diagram of src/ only: harness edges (tests include
+  // everything) would bury the layer structure the diagram exists to show.
+  std::ostringstream out;
+  out << "digraph vsgc_modules {\n"
+      << "  rankdir = BT;\n"
+      << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  std::vector<std::pair<std::string, int>> mods(result.module_files.begin(),
+                                                result.module_files.end());
+  std::stable_sort(mods.begin(), mods.end(),
+                   [](const auto& a, const auto& b) {
+                     return module_rank(a.first) < module_rank(b.first);
+                   });
+  for (const auto& [name, files] : mods) {
+    if (is_harness(name)) continue;
+    out << "  \"" << name << "\" [label=\"" << name;
+    if (module_rank(name) >= 0) {
+      out << "\\nrank " << module_rank(name);
+    } else {
+      out << "\\nobserver";
+    }
+    out << "  (" << files << " files)\"];\n";
+  }
+  for (const ModuleEdge& e : result.module_edges) {
+    if (is_harness(e.from) || is_harness(e.to)) continue;
+    out << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\" "
+        << e.count << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace vsgc::lint

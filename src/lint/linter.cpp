@@ -477,6 +477,7 @@ void Linter::lint_source(const std::string& rel_path,
   rule_include_guard(rel_path, lexed.tokens, file_findings);
   if (is_wire_header(rel_path)) {
     rule_wire_init(rel_path, lexed.tokens, file_findings);
+    rule_codec_symmetry(rel_path, lexed.tokens, file_findings);
   }
 
   apply_suppressions(rel_path, file_findings, lexed.pragmas);
@@ -486,6 +487,10 @@ void Linter::lint_source(const std::string& rel_path,
   FileRecord rec;
   rec.pragmas = std::move(lexed.pragmas);
   if (starts_with(rel_path, "src/spec/")) rec.text = text;
+  rec.includes = extract_includes(lexed.tokens);
+  if (in_sim_purity_scope(rel_path)) {
+    rec.sim_uses = find_sim_uses(lexed.tokens, rec.includes);
+  }
   files_[rel_path] = std::move(rec);
 }
 
@@ -515,6 +520,7 @@ void Linter::apply_suppressions(const std::string& rel_path,
   }
   for (Finding& f : file_findings) {
     if (f.rule == "bad-pragma") continue;
+    if (f.suppressed) continue;  // e.g. already ledgered (sim-purity)
     for (AllowPragma& p : pragmas) {
       if (!p.parse_ok || p.rule != f.rule || p.justification.empty()) continue;
       // A pragma covers its own line and the line directly below it, so it
@@ -629,10 +635,39 @@ void Linter::check_event_coverage() {
                    file_findings.end());
 }
 
+void Linter::set_sim_ledger(const std::string& display_path,
+                            const std::string& text) {
+  ledger_ = parse_ledger(display_path, text);
+  ledger_set_ = true;
+}
+
+void Linter::check_architecture() {
+  std::map<std::string, std::vector<RawInclude>> includes_by_file;
+  std::map<std::string, std::vector<SimUse>> uses_by_file;
+  for (const auto& [path, rec] : files_) {
+    includes_by_file[path] = rec.includes;
+    if (!rec.sim_uses.empty()) uses_by_file[path] = rec.sim_uses;
+  }
+  if (ledger_.display_path.empty()) {
+    ledger_.display_path = "tools/sim_purity_ledger.txt";
+  }
+  std::map<std::string, std::vector<Finding>> by_file;
+  analyze_includes(includes_by_file, by_file, deps_);
+  check_sim_purity(uses_by_file, ledger_, by_file, deps_);
+  for (auto& [path, file_findings] : by_file) {
+    if (auto it = files_.find(path); it != files_.end()) {
+      apply_suppressions(path, file_findings, it->second.pragmas);
+    }
+    findings_.insert(findings_.end(), file_findings.begin(),
+                     file_findings.end());
+  }
+}
+
 void Linter::finalize() {
   if (finalized_) return;
   finalized_ = true;
   check_event_coverage();
+  check_architecture();
 
   // Any well-formed pragma that suppressed nothing is itself a finding:
   // stale exceptions rot into blanket ones.
@@ -719,6 +754,15 @@ int lint_tree(Linter& linter, const std::string& root) {
     std::ostringstream buf;
     buf << in.rdbuf();
     linter.lint_source(rel, buf.str());
+  }
+  if (!linter.has_sim_ledger()) {
+    std::ifstream led(fs::path(root) / "tools" / "sim_purity_ledger.txt",
+                      std::ios::binary);
+    if (led) {
+      std::ostringstream buf;
+      buf << led.rdbuf();
+      linter.set_sim_ledger("tools/sim_purity_ledger.txt", buf.str());
+    }
   }
   linter.finalize();
   return static_cast<int>(paths.size());

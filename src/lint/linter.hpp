@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/deps.hpp"
 #include "lint/rules.hpp"
 #include "lint/token.hpp"
 #include "obs/json.hpp"
@@ -27,14 +28,29 @@ class Linter {
   /// (including suppressed ones) accumulate; call finalize() once at the end.
   void lint_source(const std::string& rel_path, const std::string& text);
 
-  /// Run cross-file rules (event-coverage) and flag unused pragmas.
-  /// Must be called exactly once, after the last lint_source().
+  /// Run cross-file rules (event-coverage, layering/cycles, sim purity) and
+  /// flag unused pragmas. Must be called exactly once, after the last
+  /// lint_source().
   void finalize();
+
+  /// Install the sim-purity ratchet ledger (lint_tree auto-loads
+  /// tools/sim_purity_ledger.txt when none was set). With no ledger every
+  /// sim dependency in protocol code is an unsuppressed finding.
+  void set_sim_ledger(const std::string& display_path,
+                      const std::string& text);
+  bool has_sim_ledger() const { return ledger_set_; }
 
   const std::vector<Finding>& findings() const { return findings_; }
   int unsuppressed_count() const;
   int suppressed_count() const;
   int files_scanned() const { return files_scanned_; }
+
+  /// Include-graph/sim-purity aggregates, valid after finalize().
+  const DepsResult& deps() const { return deps_; }
+  obs::JsonValue deps_json(const std::string& root) const {
+    return deps_to_json(deps_, root);
+  }
+  std::string deps_dot() const { return deps_to_dot(deps_); }
 
   /// Machine-readable artifact (schema checked by tools/validate_bench_json).
   obs::JsonValue to_json(const std::string& root) const;
@@ -43,18 +59,24 @@ class Linter {
   struct FileRecord {
     std::vector<AllowPragma> pragmas;
     std::string text;  ///< retained only for src/spec files (event-coverage)
+    std::vector<RawInclude> includes;
+    std::vector<SimUse> sim_uses;  ///< only for sim-purity-scope files
   };
 
   void apply_suppressions(const std::string& rel_path,
                           std::vector<Finding>& file_findings,
                           std::vector<AllowPragma>& pragmas);
   void check_event_coverage();
+  void check_architecture();
 
   std::vector<Finding> findings_;
   std::map<std::string, FileRecord> files_;
   int files_scanned_ = 0;
   bool finalized_ = false;
   bool event_coverage_ran_ = false;
+  DepsResult deps_;
+  Ledger ledger_;
+  bool ledger_set_ = false;
 };
 
 /// Walk `root`'s {src,tools,bench,tests} directories (missing ones are

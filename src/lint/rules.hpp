@@ -1,12 +1,16 @@
 // Rule vocabulary of vsgc-lint.
 //
-// Two rule families (DESIGN.md §8):
+// Three rule families (DESIGN.md §8):
 //   * determinism — source constructs that would make a simulated execution
 //     depend on anything other than its seed (wall clocks, ambient
 //     randomness, hash/address ordering). Scoped to the protocol + simulator
 //     directories; observability and test scaffolding may touch real time.
 //   * protocol hygiene — wire structs fully initialized, every spec event
 //     consumed by a checker, one include-guard style.
+//   * architecture conformance — the include graph respects the declared
+//     module layering and stays acyclic, sim dependencies in protocol code
+//     are ratchet-ledgered, and wire codecs encode/decode symmetrically
+//     (lint/deps.hpp).
 // Every rule is suppressible at the offending line with a line comment of
 // the form `vsgc-lint` + colon + ` allow(<rule>) <justification>` — except
 // bad-pragma, which polices the pragmas themselves. (The marker is spelled
@@ -24,7 +28,7 @@ struct RuleInfo {
   std::string_view summary;
 };
 
-inline constexpr std::array<RuleInfo, 9> kRules = {{
+inline constexpr std::array<RuleInfo, 13> kRules = {{
     {"banned-random",
      "ambient randomness (std::rand, random_device, mt19937, ...) in "
      "deterministic code; all randomness must flow through util/rng.hpp"},
@@ -46,6 +50,19 @@ inline constexpr std::array<RuleInfo, 9> kRules = {{
     {"event-coverage",
      "spec event type not consumed by any checker reachable from "
      "src/spec/all_checkers.hpp"},
+    {"layer-violation",
+     "#include crosses the module-layer table (DESIGN.md §8): protocol "
+     "layers depend strictly downward, observers observe, src/ never "
+     "includes harness code"},
+    {"include-cycle",
+     "file-level #include cycle; the include graph must stay a DAG"},
+    {"sim-purity",
+     "sim/ include or sim-only symbol (Simulator, TimerHandle, schedule*) "
+     "in protocol code not covered by tools/sim_purity_ledger.txt — the "
+     "ledger is a ratchet that only shrinks"},
+    {"codec-symmetry",
+     "wire struct whose encode/decode disagree: a field never or multiply "
+     "encoded/decoded, or decoded in a different order than encoded"},
     {"include-guard",
      "header does not start with '#pragma once' (the repo's single "
      "include-guard style)"},

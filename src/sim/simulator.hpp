@@ -34,30 +34,9 @@
 
 namespace vsgc::sim {
 
-class Simulator;
-
-/// Cancellation handle for a scheduled event. A handle is a (slot,
-/// generation) name into the simulator's event arena: copying it is free and
-/// a stale handle (fired, cancelled, or slot since reused) is always safe —
-/// cancel() is a no-op and pending() is false. Handles must not be used
-/// after the Simulator that issued them is destroyed.
-class TimerHandle {
- public:
-  TimerHandle() = default;
-
-  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
-  inline void cancel();
-  inline bool pending() const;
-
- private:
-  friend class Simulator;
-  TimerHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
-      : sim_(sim), slot_(slot), gen_(gen) {}
-
-  Simulator* sim_ = nullptr;
-  std::uint32_t slot_ = 0;
-  std::uint32_t gen_ = 0;
-};
+// TimerHandle (and the Simulator forward declaration) live in sim/time.hpp —
+// the lightweight surface protocol code is allowed to include. Its inline
+// cancel()/pending() are defined at the bottom of this header.
 
 /// Outcome of run_to_quiescence: how many events ran and whether the run
 /// actually drained the queue or was cut off by the runaway cap. Converts to

@@ -1,4 +1,13 @@
-// Simulated time. One tick == one microsecond of virtual time.
+// Simulated time and the lightweight timer surface. One tick == one
+// microsecond of virtual time.
+//
+// This header is the sanctioned sim/ surface for protocol code
+// (src/transport, src/gcs, src/membership): it carries only value types —
+// Time, Duration, TimerHandle — and a forward declaration of Simulator, so
+// a protocol automaton can hold timers and pass a `Simulator&` through
+// without depending on the event-kernel internals in sim/simulator.hpp.
+// The sim-purity ledger (tools/sim_purity_ledger.txt) exempts this header;
+// every other sim/ include from protocol directories is ratcheted debt.
 #pragma once
 
 #include <cstdint>
@@ -6,9 +15,41 @@
 namespace vsgc::sim {
 
 using Time = std::int64_t;
+using Duration = Time;
 
 constexpr Time kMicrosecond = 1;
 constexpr Time kMillisecond = 1000 * kMicrosecond;
 constexpr Time kSecond = 1000 * kMillisecond;
+
+class Simulator;
+
+/// Cancellation handle for a scheduled event. A handle is a (slot,
+/// generation) name into the simulator's event arena: copying it is free and
+/// a stale handle (fired, cancelled, or slot since reused) is always safe —
+/// cancel() is a no-op and pending() is false. Handles must not be used
+/// after the Simulator that issued them is destroyed.
+///
+/// cancel()/pending() are declared inline here and defined at the bottom of
+/// sim/simulator.hpp, next to the arena they poke. Holding and default-
+/// constructing handles needs only this header; *calling* cancel()/pending()
+/// requires simulator.hpp in the translation unit — which every runner that
+/// actually drives a Simulator already has.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
+  inline void cancel();
+  inline bool pending() const;
+
+ private:
+  friend class Simulator;
+  TimerHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
+};
 
 }  // namespace vsgc::sim

@@ -43,7 +43,7 @@
 
 #include "net/network.hpp"
 #include "net/node.hpp"
-#include "sim/simulator.hpp"
+#include "sim/time.hpp"
 #include "spec/events.hpp"
 #include "transport/frame.hpp"
 #include "util/ids.hpp"

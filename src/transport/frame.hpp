@@ -79,6 +79,7 @@ struct FrameHeader {
 
 /// A fully serializable frame: header plus raw payload bytes per entry.
 struct EncodedFrame {
+  // vsgc-lint: allow(codec-symmetry) encode() writes a local copy of header with count recomputed from payloads.size(); decode() reads it back symmetrically
   FrameHeader header{};
   std::vector<std::vector<std::uint8_t>> payloads{};
 

@@ -438,6 +438,350 @@ TEST(LintBadPragma, StalePragmaIsFlagged) {
   EXPECT_NE(fs[0].message.find("suppresses nothing"), std::string::npos);
 }
 
+// --- layer-violation --------------------------------------------------------
+
+std::vector<Finding> run_two(const std::string& path_a,
+                             const std::string& text_a,
+                             const std::string& path_b,
+                             const std::string& text_b) {
+  Linter linter;
+  linter.lint_source(path_a, text_a);
+  linter.lint_source(path_b, text_b);
+  linter.finalize();
+  return linter.findings();
+}
+
+TEST(LintLayerViolation, UpwardIncludeIsFlagged) {
+  const auto fs = run_two("src/transport/fixture.hpp",
+                          "#pragma once\n#include \"gcs/view.hpp\"\n",
+                          "src/gcs/view.hpp", "#pragma once\n");
+  ASSERT_EQ(count_rule(fs, "layer-violation"), 1);
+  const auto it = std::find_if(fs.begin(), fs.end(), [](const Finding& f) {
+    return f.rule == "layer-violation";
+  });
+  ASSERT_NE(it, fs.end());
+  EXPECT_EQ(it->file, "src/transport/fixture.hpp");
+  EXPECT_EQ(it->line, 2);
+  EXPECT_NE(it->message.find("strictly downward"), std::string::npos);
+}
+
+TEST(LintLayerViolation, DownwardIncludePasses) {
+  const auto fs = run_two("src/gcs/fixture.hpp",
+                          "#pragma once\n#include \"transport/frames.hpp\"\n",
+                          "src/transport/frames.hpp", "#pragma once\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintLayerViolation, SrcMustNotIncludeHarness) {
+  const auto fs = run_two("src/util/fixture.hpp",
+                          "#pragma once\n#include \"tools/helper.hpp\"\n",
+                          "tools/helper.hpp", "#pragma once\n");
+  ASSERT_EQ(count_rule(fs, "layer-violation"), 1);
+}
+
+TEST(LintLayerViolation, PragmaSuppresses) {
+  const auto fs = run_two(
+      "src/transport/fixture.hpp",
+      "#pragma once\n"
+      "// vsgc-lint: allow(layer-violation) fixture: transitional edge\n"
+      "#include \"gcs/view.hpp\"\n",
+      "src/gcs/view.hpp", "#pragma once\n");
+  EXPECT_EQ(count_rule(fs, "layer-violation", /*suppressed=*/true), 1);
+  EXPECT_EQ(count_rule(fs, "layer-violation", /*suppressed=*/false), 0);
+}
+
+// --- include-cycle ----------------------------------------------------------
+
+TEST(LintIncludeCycle, MutualIncludeIsFlagged) {
+  const auto fs = run_two("src/util/a.hpp",
+                          "#pragma once\n#include \"util/b.hpp\"\n",
+                          "src/util/b.hpp",
+                          "#pragma once\n#include \"util/a.hpp\"\n");
+  ASSERT_EQ(count_rule(fs, "include-cycle"), 1);
+  const auto it = std::find_if(fs.begin(), fs.end(), [](const Finding& f) {
+    return f.rule == "include-cycle";
+  });
+  ASSERT_NE(it, fs.end());
+  EXPECT_EQ(it->file, "src/util/a.hpp");
+  EXPECT_NE(
+      it->message.find(
+          "src/util/a.hpp -> src/util/b.hpp -> src/util/a.hpp"),
+      std::string::npos);
+}
+
+TEST(LintIncludeCycle, AcyclicChainPasses) {
+  Linter linter;
+  linter.lint_source("src/util/a.hpp",
+                     "#pragma once\n#include \"util/b.hpp\"\n");
+  linter.lint_source("src/util/b.hpp",
+                     "#pragma once\n#include \"util/c.hpp\"\n");
+  linter.lint_source("src/util/c.hpp", "#pragma once\n");
+  linter.finalize();
+  EXPECT_TRUE(linter.findings().empty());
+}
+
+TEST(LintIncludeCycle, PragmaSuppresses) {
+  const auto fs = run_two(
+      "src/util/a.hpp",
+      "#pragma once\n"
+      "// vsgc-lint: allow(include-cycle) fixture: being untangled\n"
+      "#include \"util/b.hpp\"\n",
+      "src/util/b.hpp", "#pragma once\n#include \"util/a.hpp\"\n");
+  EXPECT_EQ(count_rule(fs, "include-cycle", /*suppressed=*/true), 1);
+  EXPECT_EQ(count_rule(fs, "include-cycle", /*suppressed=*/false), 0);
+}
+
+// --- sim-purity -------------------------------------------------------------
+
+TEST(LintSimPurity, UnledgeredSimIncludeIsFlagged) {
+  const auto fs = run_one("src/gcs/fixture.hpp",
+                          "#pragma once\n#include \"sim/simulator.hpp\"\n");
+  ASSERT_EQ(count_rule(fs, "sim-purity"), 1);
+  const auto it = std::find_if(fs.begin(), fs.end(), [](const Finding& f) {
+    return f.rule == "sim-purity";
+  });
+  ASSERT_NE(it, fs.end());
+  EXPECT_EQ(it->line, 2);
+  EXPECT_NE(it->message.find("tools/sim_purity_ledger.txt"),
+            std::string::npos);
+}
+
+TEST(LintSimPurity, UnledgeredSimSymbolIsFlagged) {
+  const auto fs = run_one("src/transport/fixture.hpp",
+                          "#pragma once\nTimerHandle retransmit_timer{};\n");
+  ASSERT_EQ(count_rule(fs, "sim-purity"), 1);
+}
+
+TEST(LintSimPurity, TimeSurfaceIsExempt) {
+  // sim/time.hpp is the sanctioned sim surface (Time/Duration/TimerHandle
+  // value types): including it from protocol code is the *goal* of the
+  // ratchet, never a finding.
+  const auto fs = run_one("src/gcs/fixture.hpp",
+                          "#pragma once\n#include \"sim/time.hpp\"\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSimPurity, OnlyCallShapedScheduleIsFlagged) {
+  const auto fs = run_one("src/membership/fixture.cpp",
+                          "int schedule = 3;\nint x = schedule + 1;\n");
+  EXPECT_EQ(count_rule(fs, "sim-purity"), 0);
+  const auto fs2 =
+      run_one("src/membership/fixture.cpp", "void f() { schedule(0); }\n");
+  EXPECT_EQ(count_rule(fs2, "sim-purity"), 1);
+}
+
+TEST(LintSimPurity, OutsideScopePasses) {
+  const auto fs = run_one("src/app/fixture.hpp",
+                          "#pragma once\n#include \"sim/simulator.hpp\"\n");
+  EXPECT_EQ(count_rule(fs, "sim-purity"), 0);
+}
+
+TEST(LintSimPurity, LedgeredEntrySuppressesWithRatchetJustification) {
+  Linter linter;
+  linter.set_sim_ledger("tools/sim_purity_ledger.txt",
+                        "# comment line\n"
+                        "src/gcs/fixture.hpp include sim/simulator.hpp\n");
+  linter.lint_source("src/gcs/fixture.hpp",
+                     "#pragma once\n#include \"sim/simulator.hpp\"\n");
+  linter.finalize();
+  const auto fs = linter.findings();
+  EXPECT_EQ(count_rule(fs, "sim-purity", /*suppressed=*/true), 1);
+  EXPECT_EQ(count_rule(fs, "sim-purity", /*suppressed=*/false), 0);
+  const auto it = std::find_if(fs.begin(), fs.end(), [](const Finding& f) {
+    return f.rule == "sim-purity";
+  });
+  ASSERT_NE(it, fs.end());
+  EXPECT_NE(it->justification.find("ratchet"), std::string::npos);
+}
+
+TEST(LintSimPurity, StaleLedgerEntryIsFlaggedAtTheLedger) {
+  Linter linter;
+  linter.set_sim_ledger("tools/sim_purity_ledger.txt",
+                        "src/gcs/gone.hpp symbol Simulator\n");
+  linter.lint_source("src/gcs/fixture.hpp", "#pragma once\n");
+  linter.finalize();
+  const auto fs = linter.findings();
+  ASSERT_EQ(count_rule(fs, "sim-purity", /*suppressed=*/false), 1);
+  const auto it = std::find_if(fs.begin(), fs.end(), [](const Finding& f) {
+    return f.rule == "sim-purity";
+  });
+  ASSERT_NE(it, fs.end());
+  EXPECT_EQ(it->file, "tools/sim_purity_ledger.txt");
+  EXPECT_EQ(it->line, 1);
+  EXPECT_NE(it->message.find("stale"), std::string::npos);
+}
+
+TEST(LintSimPurity, MalformedLedgerLineIsFlagged) {
+  Linter linter;
+  linter.set_sim_ledger("tools/sim_purity_ledger.txt",
+                        "src/gcs/fixture.hpp frobnicate\n");
+  linter.lint_source("src/gcs/fixture.hpp", "#pragma once\n");
+  linter.finalize();
+  const auto fs = linter.findings();
+  ASSERT_EQ(count_rule(fs, "sim-purity", /*suppressed=*/false), 1);
+  EXPECT_NE(fs[0].message.find("malformed"), std::string::npos);
+}
+
+// --- codec-symmetry ---------------------------------------------------------
+
+TEST(LintCodecSymmetry, UnencodedFieldIsFlagged) {
+  const auto fs = run_one("src/gcs/messages.hpp", R"lint(
+#pragma once
+struct Ping {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  void encode(Encoder& enc) const { enc.put_u32(a); }
+  static Ping decode(Decoder& dec) {
+    Ping p;
+    p.a = dec.get_u32();
+    p.b = dec.get_u32();
+    return p;
+  }
+};
+)lint");
+  ASSERT_EQ(count_rule(fs, "codec-symmetry"), 1);
+  const auto it = std::find_if(fs.begin(), fs.end(), [](const Finding& f) {
+    return f.rule == "codec-symmetry";
+  });
+  ASSERT_NE(it, fs.end());
+  EXPECT_EQ(it->line, 5);  // anchored at the declaration of 'b'
+  EXPECT_NE(it->message.find("'b'"), std::string::npos);
+  EXPECT_NE(it->message.find("never encoded"), std::string::npos);
+}
+
+TEST(LintCodecSymmetry, DecodeOrderSwapIsFlagged) {
+  const auto fs = run_one("src/membership/wire.hpp", R"lint(
+#pragma once
+struct Ping {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  void encode(Encoder& enc) const { enc.put_u32(a); enc.put_u32(b); }
+  static Ping decode(Decoder& dec) {
+    Ping p;
+    p.b = dec.get_u32();
+    p.a = dec.get_u32();
+    return p;
+  }
+};
+)lint");
+  ASSERT_EQ(count_rule(fs, "codec-symmetry"), 1);
+  const auto it = std::find_if(fs.begin(), fs.end(), [](const Finding& f) {
+    return f.rule == "codec-symmetry";
+  });
+  ASSERT_NE(it, fs.end());
+  EXPECT_NE(it->message.find("decode order differs"), std::string::npos);
+}
+
+TEST(LintCodecSymmetry, OneSidedCodecIsFlagged) {
+  const auto fs = run_one("src/gcs/messages.hpp", R"lint(
+#pragma once
+struct Ping {
+  std::uint32_t a = 0;
+  void encode(Encoder& enc) const { enc.put_u32(a); }
+};
+)lint");
+  ASSERT_EQ(count_rule(fs, "codec-symmetry"), 1);
+  EXPECT_NE(fs[0].message.find("encode() but no decode()"),
+            std::string::npos);
+}
+
+TEST(LintCodecSymmetry, SymmetricCodecPasses) {
+  const auto fs = run_one("src/gcs/messages.hpp", R"lint(
+#pragma once
+struct Ping {
+  std::uint32_t a = 0;
+  std::map<int, int> cut{};
+  void encode(Encoder& enc) const {
+    enc.put_u32(a);
+    enc.put_u32(cut.size());
+    for (const auto& [k, v] : cut) enc.put_u32(v);
+  }
+  static Ping decode(Decoder& dec) {
+    Ping p;
+    p.a = dec.get_u32();
+    const std::uint32_t n = dec.get_u32();
+    for (std::uint32_t i = 0; i < n; ++i) p.cut[i] = dec.get_u32();
+    return p;
+  }
+};
+)lint");
+  EXPECT_EQ(count_rule(fs, "codec-symmetry"), 0);
+}
+
+TEST(LintCodecSymmetry, PositionalAggregateReturnDecodePasses) {
+  const auto fs = run_one("src/gcs/messages.hpp", R"lint(
+#pragma once
+struct Ping {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  void encode(Encoder& enc) const { enc.put_u32(a); enc.put_u32(b); }
+  static Ping decode(Decoder& dec) {
+    return Ping{dec.get_u32(), dec.get_u32()};
+  }
+};
+)lint");
+  EXPECT_EQ(count_rule(fs, "codec-symmetry"), 0);
+}
+
+TEST(LintCodecSymmetry, NonWireHeadersAreOutOfScope) {
+  const auto fs = run_one("src/gcs/other.hpp", R"lint(
+#pragma once
+struct Scratch {
+  int a = 0;
+  void encode(Encoder& enc) const {}
+};
+)lint");
+  EXPECT_EQ(count_rule(fs, "codec-symmetry"), 0);
+}
+
+TEST(LintCodecSymmetry, PragmaSuppresses) {
+  const auto fs = run_one("src/gcs/messages.hpp", R"lint(
+#pragma once
+struct Ping {
+  std::uint32_t a = 0;
+  // vsgc-lint: allow(codec-symmetry) fixture: b is derived at decode time
+  std::uint32_t b = 0;
+  void encode(Encoder& enc) const { enc.put_u32(a); }
+  static Ping decode(Decoder& dec) {
+    Ping p;
+    p.a = dec.get_u32();
+    p.b = dec.get_u32();
+    return p;
+  }
+};
+)lint");
+  EXPECT_EQ(count_rule(fs, "codec-symmetry", /*suppressed=*/true), 1);
+  EXPECT_EQ(count_rule(fs, "codec-symmetry", /*suppressed=*/false), 0);
+}
+
+// --- deps artifact ----------------------------------------------------------
+
+TEST(LintDeps, ArtifactHasSchemaFieldsAndDotHeader) {
+  Linter linter;
+  linter.lint_source("src/gcs/fixture.hpp",
+                     "#pragma once\n#include \"transport/frames.hpp\"\n");
+  linter.lint_source("src/transport/frames.hpp", "#pragma once\n");
+  linter.finalize();
+
+  std::string error;
+  const obs::JsonValue doc =
+      obs::JsonValue::parse(linter.deps_json(".").dump_pretty(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(doc.find("tool")->as_string(), "vsgc_deps");
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 1);
+  EXPECT_EQ(doc.find("files")->as_int(), 2);
+  EXPECT_EQ(doc.find("internal_edges")->as_int(), 1);
+  EXPECT_EQ(doc.find("cycles")->as_int(), 0);
+  EXPECT_EQ(doc.find("layer_violations")->as_int(), 0);
+  const obs::JsonValue* modules = doc.find("modules");
+  ASSERT_TRUE(modules != nullptr && modules->is_array());
+  EXPECT_EQ(modules->size(), 2u);
+
+  const std::string dot = linter.deps_dot();
+  EXPECT_NE(dot.find("digraph vsgc_modules"), std::string::npos);
+  EXPECT_NE(dot.find("\"gcs\" -> \"transport\""), std::string::npos);
+}
+
 // --- artifact schema --------------------------------------------------------
 
 TEST(LintJson, ArtifactHasSchemaFieldsAndRoundTrips) {

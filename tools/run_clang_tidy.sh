@@ -5,9 +5,12 @@
 #
 # Runs clang-tidy with the checked-in .clang-tidy profile over all first-party
 # .cpp files and compares normalized findings against the accepted baseline in
-# tools/clang_tidy_baseline.txt. Only findings NOT in the baseline fail; to
-# accept a finding permanently, append its normalized line to the baseline
-# with a justifying comment above it.
+# tools/clang_tidy_baseline.txt. The baseline is a ratchet, like the
+# sim-purity ledger: findings NOT in the baseline fail (no new debt), and
+# baseline entries that no longer fire also fail (delete the stale line so
+# the accepted-debt count only shrinks). To accept a finding permanently,
+# append its normalized line to the baseline with a justifying comment above
+# it.
 #
 # Exits 0 (with a notice) when clang-tidy is not installed: vsgc_lint remains
 # the always-on gate, and CI images without LLVM must not fail spuriously.
@@ -37,11 +40,21 @@ clang-tidy -p "$BUILD_DIR" --quiet "${files[@]}" 2>/dev/null \
   | sed -e "s|^$(pwd)/||" -e 's/^\([^:]*:[0-9]*\):[0-9]*:/\1:/' \
   | sort -u > "$actual" || true
 
-new_findings="$(comm -13 <(grep -v '^#' "$BASELINE" | sed '/^$/d' | sort -u) \
-                         "$actual")"
+accepted="$(mktemp)"
+trap 'rm -f "$actual" "$accepted"' EXIT
+grep -v '^#' "$BASELINE" | sed '/^$/d' | sort -u > "$accepted"
+
+new_findings="$(comm -13 "$accepted" "$actual")"
 if [ -n "$new_findings" ]; then
   echo "clang-tidy: new findings not in $BASELINE:" >&2
   echo "$new_findings" >&2
+  exit 1
+fi
+stale_entries="$(comm -23 "$accepted" "$actual")"
+if [ -n "$stale_entries" ]; then
+  echo "clang-tidy: stale $BASELINE entries (finding no longer fires;" >&2
+  echo "delete these lines to ratchet the accepted debt down):" >&2
+  echo "$stale_entries" >&2
   exit 1
 fi
 echo "clang-tidy: clean against baseline ($(wc -l < "$actual") known findings)"

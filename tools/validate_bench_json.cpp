@@ -2,9 +2,10 @@
 //
 // Usage: validate_bench_json FILE [FILE...]
 // Exits 0 iff every file parses as JSON and matches its schema: BENCH_*.json
-// run artifacts (schema documented in src/obs/artifact.hpp) by default, or
-// the vsgc_lint findings artifact when the document carries
-// "tool": "vsgc_lint". Prints one line per file.
+// run artifacts (schema documented in src/obs/artifact.hpp) by default, the
+// vsgc_lint findings artifact when the document carries "tool": "vsgc_lint",
+// or the include-graph artifact (LINT_deps.json) when it carries
+// "tool": "vsgc_deps". Prints one line per file.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -81,6 +82,86 @@ Check validate_lint(const JsonValue& root) {
     c.require(unsup_total->as_int() + suppressed ==
                   static_cast<std::int64_t>(findings->size()),
               "'unsuppressed' + 'suppressed' != findings count");
+  }
+  return c;
+}
+
+/// Schema of tools/vsgc_lint --deps-json output (LINT_deps.json,
+/// lint::deps_to_json): the include-graph/sim-purity artifact the ci.sh
+/// architecture gates read.
+Check validate_deps(const JsonValue& root) {
+  Check c;
+  const JsonValue* version = root.find("schema_version");
+  c.require(version != nullptr && version->is_int() && version->as_int() == 1,
+            "missing field 'schema_version' == 1");
+  const JsonValue* deps_root = root.find("root");
+  c.require(deps_root != nullptr && deps_root->is_string(),
+            "missing string field 'root'");
+  for (const char* field : {"files", "internal_edges", "external_includes",
+                            "cycles", "layer_violations"}) {
+    const JsonValue* v = root.find(field);
+    c.require(v != nullptr && v->is_int() && v->as_int() >= 0,
+              std::string("missing non-negative integer '") + field + "'");
+  }
+  const JsonValue* modules = root.find("modules");
+  c.require(modules != nullptr && modules->is_array() && modules->size() > 0,
+            "missing non-empty array field 'modules'");
+  if (modules != nullptr && modules->is_array()) {
+    for (std::size_t i = 0; i < modules->size(); ++i) {
+      const JsonValue& row = modules->at(i);
+      const std::string at = "modules[" + std::to_string(i) + "]";
+      c.require(row.is_object(), at + " is not an object");
+      if (!row.is_object()) continue;
+      const JsonValue* name = row.find("name");
+      c.require(name != nullptr && name->is_string() &&
+                    !name->as_string().empty(),
+                at + " missing non-empty string 'name'");
+      const JsonValue* rank = row.find("rank");
+      c.require(rank != nullptr && rank->is_int(),
+                at + " missing integer 'rank'");
+      const JsonValue* files = row.find("files");
+      c.require(files != nullptr && files->is_int() && files->as_int() >= 1,
+                at + " missing integer 'files' >= 1");
+    }
+  }
+  const JsonValue* edges = root.find("module_edges");
+  c.require(edges != nullptr && edges->is_array(),
+            "missing array field 'module_edges'");
+  if (edges != nullptr && edges->is_array()) {
+    for (std::size_t i = 0; i < edges->size(); ++i) {
+      const JsonValue& row = edges->at(i);
+      const std::string at = "module_edges[" + std::to_string(i) + "]";
+      c.require(row.is_object(), at + " is not an object");
+      if (!row.is_object()) continue;
+      for (const char* field : {"from", "to"}) {
+        const JsonValue* v = row.find(field);
+        c.require(v != nullptr && v->is_string() && !v->as_string().empty(),
+                  at + " missing non-empty string '" + field + "'");
+      }
+      const JsonValue* count = row.find("count");
+      c.require(count != nullptr && count->is_int() && count->as_int() >= 1,
+                at + " missing integer 'count' >= 1");
+    }
+  }
+  const JsonValue* sim = root.find("sim_purity");
+  c.require(sim != nullptr && sim->is_object(),
+            "missing object field 'sim_purity'");
+  if (sim != nullptr && sim->is_object()) {
+    for (const char* field : {"entries", "ledgered", "unledgered", "stale"}) {
+      const JsonValue* v = sim->find(field);
+      c.require(v != nullptr && v->is_int() && v->as_int() >= 0,
+                std::string("missing non-negative integer 'sim_purity.") +
+                    field + "'");
+    }
+    const JsonValue* entries = sim->find("entries");
+    const JsonValue* ledgered = sim->find("ledgered");
+    const JsonValue* unledgered = sim->find("unledgered");
+    if (entries != nullptr && entries->is_int() && ledgered != nullptr &&
+        ledgered->is_int() && unledgered != nullptr && unledgered->is_int()) {
+      c.require(entries->as_int() ==
+                    ledgered->as_int() + unledgered->as_int(),
+                "'sim_purity.entries' != ledgered + unledgered");
+    }
   }
   return c;
 }
@@ -279,6 +360,10 @@ Check validate(const JsonValue& root) {
       tool->as_string() == "vsgc_lint") {
     return validate_lint(root);
   }
+  if (tool != nullptr && tool->is_string() &&
+      tool->as_string() == "vsgc_deps") {
+    return validate_deps(root);
+  }
 
   const JsonValue* bench = root.find("bench");
   c.require(bench != nullptr && bench->is_string() &&
@@ -396,12 +481,15 @@ int main(int argc, char** argv) {
     if (c.ok) {
       const JsonValue* results = root.find("results");
       const JsonValue* findings = root.find("findings");
+      const JsonValue* modules = root.find("modules");
       std::cout << argv[i] << ": OK (";
       if (results != nullptr) {
         std::cout << results->size() << " results)\n";
+      } else if (findings != nullptr) {
+        std::cout << findings->size() << " lint findings)\n";
       } else {
-        std::cout << (findings != nullptr ? findings->size() : 0)
-                  << " lint findings)\n";
+        std::cout << (modules != nullptr ? modules->size() : 0)
+                  << " modules)\n";
       }
     } else {
       all_ok = false;

@@ -1,12 +1,19 @@
-// vsgc_lint — determinism & protocol-hygiene static analysis for this repo.
+// vsgc_lint — determinism, protocol-hygiene, and architecture-conformance
+// static analysis for this repo.
 //
 // Usage:
-//   vsgc_lint [--root DIR] [--json FILE] [--list-rules] [FILE...]
+//   vsgc_lint [--root DIR] [--json FILE] [--deps-json FILE] [--dot FILE]
+//             [--ledger FILE] [--list-rules] [FILE...]
 //
 // With no FILE arguments, walks DIR/{src,tools,bench,tests} (default: the
 // current directory) and lints every .hpp/.cpp in sorted order. Explicit FILE
 // arguments are linted as paths relative to --root, so rule scoping (which
 // directories the determinism rules cover) still applies.
+//
+// --deps-json writes the include-graph/sim-purity artifact (LINT_deps.json),
+// --dot the Graphviz module-layer diagram, and --ledger overrides the
+// sim-purity ratchet ledger (default: ROOT/tools/sim_purity_ledger.txt in
+// tree mode).
 //
 // Exit status: 0 = no unsuppressed findings, 1 = findings, 2 = usage error.
 // ci.sh runs this before the build as a hard gate; --json writes the
@@ -23,9 +30,19 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: vsgc_lint [--root DIR] [--json FILE] [--list-rules] "
-               "[FILE...]\n";
+  std::cerr << "usage: vsgc_lint [--root DIR] [--json FILE] "
+               "[--deps-json FILE] [--dot FILE] [--ledger FILE] "
+               "[--list-rules] [FILE...]\n";
   return 2;
+}
+
+bool slurp(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
 }
 
 }  // namespace
@@ -33,6 +50,9 @@ int usage() {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string json_out;
+  std::string deps_json_out;
+  std::string dot_out;
+  std::string ledger_path;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -40,6 +60,12 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (arg == "--deps-json" && i + 1 < argc) {
+      deps_json_out = argv[++i];
+    } else if (arg == "--dot" && i + 1 < argc) {
+      dot_out = argv[++i];
+    } else if (arg == "--ledger" && i + 1 < argc) {
+      ledger_path = argv[++i];
     } else if (arg == "--list-rules") {
       for (const vsgc::lint::RuleInfo& r : vsgc::lint::kRules) {
         std::cout << r.id << "\n    " << r.summary << "\n";
@@ -53,18 +79,24 @@ int main(int argc, char** argv) {
   }
 
   vsgc::lint::Linter linter;
+  if (!ledger_path.empty()) {
+    std::string text;
+    if (!slurp(ledger_path, text)) {
+      std::cerr << "vsgc_lint: cannot read ledger " << ledger_path << "\n";
+      return 2;
+    }
+    linter.set_sim_ledger(ledger_path, text);
+  }
   if (files.empty()) {
     vsgc::lint::lint_tree(linter, root);
   } else {
     for (const std::string& rel : files) {
-      std::ifstream in(std::filesystem::path(root) / rel, std::ios::binary);
-      if (!in) {
+      std::string text;
+      if (!slurp(std::filesystem::path(root) / rel, text)) {
         std::cerr << "vsgc_lint: cannot read " << rel << "\n";
         return 2;
       }
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      linter.lint_source(rel, buf.str());
+      linter.lint_source(rel, text);
     }
     linter.finalize();
   }
@@ -89,6 +121,22 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << linter.to_json(root).dump_pretty() << "\n";
+  }
+  if (!deps_json_out.empty()) {
+    std::ofstream out(deps_json_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "vsgc_lint: cannot write " << deps_json_out << "\n";
+      return 2;
+    }
+    out << linter.deps_json(root).dump_pretty() << "\n";
+  }
+  if (!dot_out.empty()) {
+    std::ofstream out(dot_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "vsgc_lint: cannot write " << dot_out << "\n";
+      return 2;
+    }
+    out << linter.deps_dot();
   }
   return linter.unsuppressed_count() == 0 ? 0 : 1;
 }
