@@ -106,6 +106,22 @@ int main() {
     }
   }
   t.print("forwarded copies vs strategy");
+
+  // N-sweep rows in the BENCH_scale.json sweep shape (case/n/view_change_ms):
+  // recovery after an excluded sender IS the view-change latency here, so the
+  // E12 scaling tables can line these up against the scale bench directly.
+  Table sweep_t({"N", "view change (ms)", "fwd copies"});
+  for (int n : {4, 8, 16}) {
+    const Result r = run_case(n, 5, gcs::ForwardingKind::kMinCopies, art, reg);
+    sweep_t.row(n, r.recovery_ms, r.forwarded_copies);
+    obs::JsonValue& row = art.add_result();
+    row["case"] = "scale_sweep";
+    row["n"] = n;
+    row["view_change_ms"] = r.recovery_ms;
+    row["forwarded_copies"] = r.forwarded_copies;
+    row["complete"] = r.complete;
+  }
+  sweep_t.print("min-copies N-sweep (scale schema rows)");
   art.set_metrics(reg);
   art.write_file();
 

@@ -111,6 +111,25 @@ int main() {
     }
   }
   t.print("sync dissemination cost per reconfiguration");
+
+  // N-sweep rows in the BENCH_scale.json sweep shape (case/n/view_change_ms),
+  // so the E12 scaling tables can cross-read sync-dissemination cost against
+  // the scale bench without schema translation.
+  Table sweep_t({"N", "topology", "view change (ms)", "sync msgs"});
+  for (int n : {8, 16, 32, 64}) {
+    const int leaders = n >= 16 ? 4 : 2;
+    const Result r = measure(n, leaders, art, reg);
+    sweep_t.row(n, std::to_string(leaders) + " leaders", r.change_ms,
+                r.sync_msgs);
+    obs::JsonValue& row = art.add_result();
+    row["case"] = "scale_sweep";
+    row["n"] = n;
+    row["leaders"] = leaders;
+    row["view_change_ms"] = r.change_ms;
+    row["sync_msgs_per_change"] = r.sync_msgs;
+    row["sync_bytes"] = r.sync_bytes;
+  }
+  sweep_t.print("two-tier N-sweep (scale schema rows)");
   art.set_metrics(reg);
   art.write_file();
 

@@ -308,6 +308,16 @@ VSGC_BENCH_OUT="$PERF_OUT" "$BUILD_DIR_REL/bench/bench_throughput" \
   --check-batching-speedup 3.0
 "$BUILD_DIR_REL/tools/validate_bench_json" "$PERF_OUT/BENCH_throughput.json"
 
+echo "== perf bench: scale sweep (Release, sublinear gate) =="
+# E12: the N-sweep (64/256/1024 clients, ~N/8 groups, Zipf traffic, flash
+# crowds, failure waves) must show view-change latency and per-member
+# resident bytes growing sublinearly (log-log fit exponent < 1.15), and the
+# same-seed determinism double-run inside the bench must be byte-identical.
+cmake --build "$BUILD_DIR_REL" -j "$JOBS" --target bench_scale
+VSGC_BENCH_OUT="$PERF_OUT" "$BUILD_DIR_REL/bench/bench_scale" \
+  --check-sublinear
+"$BUILD_DIR_REL/tools/validate_bench_json" "$PERF_OUT/BENCH_scale.json"
+
 echo "== thread sanitizer (batch engine) =="
 # TSan and ASan cannot share a build; a dedicated tree covers the only
 # threaded component (sim::BatchRunner) plus a parallel stress sweep that

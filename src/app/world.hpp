@@ -199,6 +199,13 @@ class World {
       }
       network_->partition(comps);
     };
+    t.set_isolated = [this, node](const std::vector<int>& nodes,
+                                  bool isolated) {
+      std::set<net::NodeId> slice;
+      for (int v : nodes) slice.insert(node(v));
+      if (isolated) network_->isolate(slice);
+      else network_->deisolate(slice);
+    };
     t.heal = [this] { network_->heal(); };
     t.set_link = [this, node](int a, int b, bool up, bool oneway) {
       if (oneway) network_->set_oneway_link_up(node(a), node(b), up);

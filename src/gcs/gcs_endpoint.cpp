@@ -3,7 +3,7 @@
 namespace vsgc::gcs {
 
 GcsEndpoint::GcsEndpoint(sim::Simulator& sim,
-                         transport::CoRfifoTransport& transport,
+                         transport::Channel transport,
                          ProcessId self,
                          std::unique_ptr<ForwardingStrategy> strategy,
                          spec::TraceBus* trace)

@@ -20,7 +20,7 @@ enum class BlockStatus { kUnblocked, kRequested, kBlocked };
 
 class GcsEndpoint : public VsRfifoTsEndpoint {
  public:
-  GcsEndpoint(sim::Simulator& sim, transport::CoRfifoTransport& transport,
+  GcsEndpoint(sim::Simulator& sim, transport::Channel transport,
               ProcessId self, std::unique_ptr<ForwardingStrategy> strategy,
               spec::TraceBus* trace = nullptr);
 

@@ -8,7 +8,7 @@
 namespace vsgc::gcs {
 
 VsRfifoTsEndpoint::VsRfifoTsEndpoint(
-    sim::Simulator& sim, transport::CoRfifoTransport& transport,
+    sim::Simulator& sim, transport::Channel transport,
     ProcessId self, std::unique_ptr<ForwardingStrategy> strategy,
     spec::TraceBus* trace)
     : WvRfifoEndpoint(sim, transport, self, trace),

@@ -96,7 +96,7 @@ class VsRfifoTsEndpoint : public WvRfifoEndpoint {
   };
 
   VsRfifoTsEndpoint(sim::Simulator& sim,
-                    transport::CoRfifoTransport& transport, ProcessId self,
+                    transport::Channel transport, ProcessId self,
                     std::unique_ptr<ForwardingStrategy> strategy,
                     spec::TraceBus* trace = nullptr);
 

@@ -8,7 +8,7 @@
 namespace vsgc::gcs {
 
 WvRfifoEndpoint::WvRfifoEndpoint(sim::Simulator& sim,
-                                 transport::CoRfifoTransport& transport,
+                                 transport::Channel transport,
                                  ProcessId self, spec::TraceBus* trace)
     : sim_(sim),
       transport_(transport),
@@ -167,7 +167,7 @@ bool WvRfifoEndpoint::try_set_reliable() {
   // heals it (DESIGN.md §12). Honest runs never diverge — the extra check
   // costs one set comparison per pump and never fires.
   if (desired == reliable_set_ &&
-      nodes_of(desired, /*exclude_self=*/false) == transport_.reliable_set()) {
+      transport_.reliable_matches(nodes_of(desired, /*exclude_self=*/false))) {
     return false;
   }
   VSGC_REQUIRE(std::includes(desired.begin(), desired.end(),

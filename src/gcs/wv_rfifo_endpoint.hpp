@@ -30,6 +30,7 @@
 #include "membership/view.hpp"
 #include "sim/time.hpp"
 #include "spec/events.hpp"
+#include "transport/channel_mux.hpp"
 #include "transport/co_rfifo.hpp"
 
 namespace vsgc::gcs {
@@ -43,7 +44,7 @@ class WvRfifoEndpoint : public membership::Listener {
     std::uint64_t view_msgs_sent = 0;
   };
 
-  WvRfifoEndpoint(sim::Simulator& sim, transport::CoRfifoTransport& transport,
+  WvRfifoEndpoint(sim::Simulator& sim, transport::Channel transport,
                   ProcessId self, spec::TraceBus* trace = nullptr);
   ~WvRfifoEndpoint() override = default;
 
@@ -179,7 +180,7 @@ class WvRfifoEndpoint : public membership::Listener {
   }
 
   sim::Simulator& sim_;
-  transport::CoRfifoTransport& transport_;
+  transport::Channel transport_;
   ProcessId self_;
   spec::TraceBus* trace_;
   Client* client_ = nullptr;

@@ -35,8 +35,38 @@ bool MembershipClient::handle(net::NodeId from, const std::any& payload) {
     }
     last_view_id_ = v.id;
     last_notified_id_ = v.id;
+    last_view_ = v;
     VSGC_TRACE("mbr-client", to_string(self_) << " view " << to_string(v));
     for (Listener* l : listeners_) l->on_view(v);
+    return true;
+  }
+
+  if (const auto* dv = std::any_cast<wire::ViewDelta>(&payload)) {
+    if (!running_) return true;
+    // Delta chain integrity (DESIGN.md §13): the delta must apply to exactly
+    // the view we last accepted. A mismatch means the chain broke — a view
+    // notification was lost with a dropped stream suffix, or the delta is
+    // forged/stale. Drop it and resync: the incarnation bump makes the
+    // server discard its delta base and send the next view in full.
+    std::optional<View> v;
+    if (last_view_id_ == dv->base) v = dv->apply(last_view_);
+    if (!v.has_value()) {
+      emit_notify_drop(dv->id.epoch);
+      resync();
+      return true;
+    }
+    // Same guards as a full ViewDelivery on the reconstructed view.
+    if (!(last_view_id_ < v->id) || !v->contains(self_) ||
+        v->start_id_of(self_) != last_cid_) {
+      emit_notify_drop(v->id.epoch);
+      return true;
+    }
+    last_view_id_ = v->id;
+    last_notified_id_ = v->id;
+    last_view_ = *v;
+    VSGC_TRACE("mbr-client", to_string(self_) << " view(delta) "
+                                              << to_string(*v));
+    for (Listener* l : listeners_) l->on_view(last_view_);
     return true;
   }
 

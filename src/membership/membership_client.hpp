@@ -77,6 +77,7 @@ class MembershipClient {
     last_view_id_ = ViewId::zero();
     last_notified_id_ = ViewId::zero();
     last_cid_ = StartChangeId::zero();
+    last_view_ = View{};
     start();
   }
 
@@ -155,6 +156,11 @@ class MembershipClient {
   /// corruption hook never touches it, making floor corruption detectable
   /// as divergence between the two (heartbeat-path audit).
   ViewId last_notified_id_ = ViewId::zero();
+  /// The last view notified, kept in full as the base for incoming
+  /// wire::ViewDelta notifications (DESIGN.md §13). A delta whose base does
+  /// not match is dropped and answered with resync(), which makes the
+  /// server fall back to a full ViewDelivery.
+  View last_view_{};
   StartChangeId last_cid_ = StartChangeId::zero();
   std::uint64_t resyncs_ = 0;
   std::uint64_t incarnation_ = 0;

@@ -164,7 +164,9 @@ void MembershipServer::on_raw(net::NodeId from, const std::any& payload) {
       if (restarted) {
         // The client crashed and recovered without the failure detector
         // noticing (Section 8 blip). Its end-point state is gone; run a
-        // fresh round so it receives a new, monotonically larger view.
+        // fresh round so it receives a new, monotonically larger view —
+        // sent in full: a delta base from its previous life is useless.
+        rec.last_view_sent.reset();
         fd_.heard(from);
         reconfigure();
         try_form();
@@ -257,13 +259,37 @@ void MembershipServer::deliver_view(const View& v) {
   emit_phase("view_formed", v.id.epoch);
   last_formed_ = v;
   last_epoch_ = std::max(last_epoch_, v.id.epoch);
+  const wire::ViewDelivery full{v};
+  const std::size_t full_size = full.wire_size();
   for (auto& [p, rec] : clients_) {
-    if (!v.members.contains(p) || !fd_.alive(net::node_of(p))) continue;
+    if (!v.members.contains(p) || !fd_.alive(net::node_of(p))) {
+      // This client misses the view: an unacked suffix toward it may be
+      // dropped with it from the reliable set, so in-order receipt of the
+      // delta chain is no longer certain — next view goes out full.
+      rec.last_view_sent.reset();
+      continue;
+    }
     if (!(rec.last_view_id < v.id)) continue;  // Local Monotonicity guard
     rec.last_view_id = v.id;
     rec.change_started = false;
-    wire::ViewDelivery vd{v};
-    transport_->send({net::node_of(p)}, net::Payload(vd), vd.wire_size());
+    // Delta-encode against the last view this client received when that is
+    // cheaper; fall back to the full form otherwise (DESIGN.md §13).
+    bool sent_delta = false;
+    if (rec.last_view_sent.has_value() && rec.last_view_sent->id < v.id) {
+      const wire::ViewDelta delta = wire::ViewDelta::diff(*rec.last_view_sent, v);
+      const std::size_t delta_size = delta.wire_size();
+      if (delta_size < full_size) {
+        ++stats_.delta_views_sent;
+        stats_.view_bytes_saved += full_size - delta_size;
+        transport_->send({net::node_of(p)}, net::Payload(delta), delta_size);
+        sent_delta = true;
+      }
+    }
+    if (!sent_delta) {
+      ++stats_.full_views_sent;
+      transport_->send({net::node_of(p)}, net::Payload(full), full_size);
+    }
+    rec.last_view_sent = v;
   }
   VSGC_TRACE("mbrshp", to_string(self_) << " formed " << to_string(v));
 }

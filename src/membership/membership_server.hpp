@@ -56,6 +56,10 @@ class MembershipServer {
     std::uint64_t proposals_sent = 0;
     std::uint64_t start_changes_sent = 0;
     std::uint64_t obsolete_views_suppressed = 0;
+    std::uint64_t full_views_sent = 0;   ///< O(N) ViewDelivery messages
+    std::uint64_t delta_views_sent = 0;  ///< O(churn) ViewDelta messages
+    /// Wire bytes saved by delta encoding vs. sending every view in full.
+    std::uint64_t view_bytes_saved = 0;
   };
 
   MembershipServer(sim::Simulator& sim, net::Network& network, ServerId self,
@@ -100,6 +104,11 @@ class MembershipServer {
     bool change_started = false;      ///< MBRSHP mode[p] == change_started
     ViewId last_view_id = ViewId::zero();
     std::uint64_t incarnation = 0;  ///< client life id from its heartbeats
+    /// Delta-encoding base (DESIGN.md §13): the last view sent to this
+    /// client over the reliable stream. Cleared whenever in-order receipt is
+    /// no longer certain (incarnation change, client dropped from a view or
+    /// the failure detector's alive set) so the next view goes out full.
+    std::optional<View> last_view_sent;
   };
 
   void on_deliver(net::NodeId from, const std::any& payload);

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "membership/view.hpp"
@@ -19,6 +20,7 @@ enum class Tag : std::uint8_t {
   kProposal = 18,
   kHeartbeat = 19,
   kLeave = 20,
+  kViewDelta = 21,
 };
 
 /// Server -> client: the membership service is attempting to form a new view.
@@ -64,6 +66,139 @@ struct ViewDelivery {
   std::size_t wire_size() const { return 1 + view.wire_size(); }
 
   friend bool operator==(const ViewDelivery&, const ViewDelivery&) = default;
+};
+
+/// Server -> client: a new view expressed as a delta against the view the
+/// server last sent this client (DESIGN.md §13). Clients identify views by
+/// id, and CO_RFIFO delivers view notifications in order, so the server
+/// knows the client's current view and can ship only the churn:
+///
+///   members  = base.members − leaves ∪ keys(joins)
+///   start_id = base.start_id + cid_bump for survivors (the paper's servers
+///              issue one fresh cid per client per round, so survivors
+///              usually advance in lockstep), patched by `exceptions`,
+///              absolute for joins.
+///
+/// Wire cost is O(churn + exceptions) instead of O(N). The server falls
+/// back to a full ViewDelivery whenever it has no base for the client (new
+/// attach, crash/recovery, lost unacked suffix) or the delta would not be
+/// smaller; a client that cannot apply a delta (base mismatch after a lost
+/// suffix) drops it and resyncs, forcing the server back to full form.
+struct ViewDelta {
+  ViewId id{};                 ///< the new view's id
+  ViewId base{};               ///< id of the view this delta applies to
+  std::uint64_t cid_bump = 0;  ///< common start-id advance for survivors
+  std::set<ProcessId> leaves{};
+  std::map<ProcessId, StartChangeId> joins{};
+  std::map<ProcessId, StartChangeId> exceptions{};
+
+  /// Express `next` as a delta over `base_view` (any two well-formed views).
+  static ViewDelta diff(const View& base_view, const View& next) {
+    ViewDelta d;
+    d.id = next.id;
+    d.base = base_view.id;
+    for (ProcessId p : base_view.members) {
+      if (!next.members.contains(p)) d.leaves.insert(p);
+    }
+    bool bump_set = false;
+    for (ProcessId p : next.members) {
+      const StartChangeId cid = next.start_id.at(p);
+      if (!base_view.members.contains(p)) {
+        d.joins[p] = cid;
+        continue;
+      }
+      const std::uint64_t b = base_view.start_id.at(p).value;
+      if (!bump_set && cid.value >= b) {
+        // The first survivor fixes the common bump; outliers become
+        // exceptions below (ordered iteration keeps this deterministic).
+        d.cid_bump = cid.value - b;
+        bump_set = true;
+      }
+      if (b + d.cid_bump != cid.value) d.exceptions[p] = cid;
+    }
+    return d;
+  }
+
+  /// Reconstruct the full view, or nullopt if the delta does not apply to
+  /// `base_view` (id mismatch, a leave that is not a member, a join that
+  /// already is one) — the client-side forged/stale-delta rejection path.
+  std::optional<View> apply(const View& base_view) const {
+    if (base_view.id != base) return std::nullopt;
+    View v;
+    v.id = id;
+    v.members = base_view.members;
+    for (ProcessId p : leaves) {
+      if (v.members.erase(p) == 0) return std::nullopt;
+    }
+    for (ProcessId p : v.members) {
+      v.start_id[p] =
+          StartChangeId{base_view.start_id.at(p).value + cid_bump};
+    }
+    for (const auto& [p, cid] : exceptions) {
+      auto it = v.start_id.find(p);
+      if (it == v.start_id.end()) return std::nullopt;
+      it->second = cid;
+    }
+    for (const auto& [p, cid] : joins) {
+      if (!v.members.insert(p).second) return std::nullopt;
+      v.start_id[p] = cid;
+    }
+    if (v.members.empty()) return std::nullopt;
+    return v;
+  }
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(Tag::kViewDelta));
+    enc.put_view_id(id);
+    enc.put_view_id(base);
+    enc.put_u64(cid_bump);
+    enc.put_process_set(leaves);
+    enc.put_u32(static_cast<std::uint32_t>(joins.size()));
+    for (const auto& [p, cid] : joins) {
+      enc.put_process(p);
+      enc.put_start_change_id(cid);
+    }
+    enc.put_u32(static_cast<std::uint32_t>(exceptions.size()));
+    for (const auto& [p, cid] : exceptions) {
+      enc.put_process(p);
+      enc.put_start_change_id(cid);
+    }
+  }
+
+  static ViewDelta decode(Decoder& dec) {
+    ViewDelta d;
+    d.id = dec.get_view_id();
+    d.base = dec.get_view_id();
+    if (!(d.base < d.id)) {
+      throw DecodeError("view delta must advance the view id");
+    }
+    d.cid_bump = dec.get_u64();
+    d.leaves = dec.get_process_set();
+    const std::uint32_t nj = dec.get_u32();
+    for (std::uint32_t i = 0; i < nj; ++i) {
+      ProcessId p = dec.get_process();
+      d.joins[p] = dec.get_start_change_id();
+    }
+    const std::uint32_t ne = dec.get_u32();
+    for (std::uint32_t i = 0; i < ne; ++i) {
+      ProcessId p = dec.get_process();
+      d.exceptions[p] = dec.get_start_change_id();
+    }
+    for (ProcessId p : d.leaves) {
+      if (d.joins.contains(p)) {
+        throw DecodeError("view delta joins and leaves overlap");
+      }
+    }
+    return d;
+  }
+
+  std::size_t wire_size() const {
+    Encoder enc;
+    encode(enc);
+    return enc.size();
+  }
+
+  friend bool operator==(const ViewDelta&, const ViewDelta&) = default;
 };
 
 /// Server -> server: round-tagged membership proposal. A proposal doubles as

@@ -4,6 +4,10 @@ namespace vsgc::net {
 
 bool Network::link_up(NodeId a, NodeId b) const {
   if (down_nodes_.contains(a) || down_nodes_.contains(b)) return false;
+  if (!isolated_.empty() &&
+      (isolated_.contains(a) || isolated_.contains(b))) {
+    return false;
+  }
   if (down_links_.contains(ordered(a, b))) return false;
   if (!component_of_.empty()) {
     const auto ia = component_of_.find(a);

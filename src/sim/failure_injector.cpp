@@ -25,6 +25,8 @@ constexpr KindName kKindNames[] = {
     {FaultOp::Kind::kServerDown, "server_down"},
     {FaultOp::Kind::kServerUp, "server_up"},
     {FaultOp::Kind::kPartition, "partition"},
+    {FaultOp::Kind::kWave, "wave"},
+    {FaultOp::Kind::kWaveLift, "wave_lift"},
     {FaultOp::Kind::kHeal, "heal"},
     {FaultOp::Kind::kLinkDown, "link_down"},
     {FaultOp::Kind::kLinkUp, "link_up"},
@@ -75,6 +77,13 @@ std::string op_detail(const FaultOp& op) {
       }
       break;
     }
+    case FaultOp::Kind::kWave:
+    case FaultOp::Kind::kWaveLift:
+      if (!op.groups.empty()) {
+        os << "n=" << op.groups.front().size();
+        for (int v : op.groups.front()) os << " " << node_ref(v);
+      }
+      break;
     case FaultOp::Kind::kHeal:
     case FaultOp::Kind::kBugDupDeliver:
       break;
@@ -139,6 +148,8 @@ obs::JsonValue FaultScript::to_json() const {
         j["a"] = op.a;
         j["payload"] = op.payload;
         break;
+      case FaultOp::Kind::kWave:
+      case FaultOp::Kind::kWaveLift:
       case FaultOp::Kind::kPartition: {
         obs::JsonValue groups = obs::JsonValue::array();
         for (const auto& group : op.groups) {
@@ -322,11 +333,26 @@ void FailureInjector::apply(const FaultOp& op, bool record) {
         partitioned_ = true;
       }
       break;
+    case FaultOp::Kind::kWave:
+      if (target_.set_isolated && !op.groups.empty()) {
+        target_.set_isolated(op.groups.front(), true);
+        waves_.push_back(applied);
+      }
+      break;
+    case FaultOp::Kind::kWaveLift:
+      if (target_.set_isolated && !op.groups.empty()) {
+        target_.set_isolated(op.groups.front(), false);
+        std::erase_if(waves_, [&](const FaultOp& w) {
+          return w.groups == op.groups;
+        });
+      }
+      break;
     case FaultOp::Kind::kHeal:
       if (target_.heal) {
         target_.heal();
         partitioned_ = false;
         downed_links_.clear();
+        waves_.clear();  // Network::heal clears wave isolation too
       }
       break;
     case FaultOp::Kind::kLinkDown:
@@ -489,6 +515,7 @@ bool FailureInjector::generate_step(int step) {
       {policy_.w_partition_in_view_change, FaultOp::Kind::kLeave},  // marker
       {target_.num_processes > 1 ? policy_.w_corrupt : 0,
        FaultOp::Kind::kCorruptSeq},  // marker: sub-kind drawn below
+      {target_.num_processes >= 2 ? policy_.w_wave : 0, FaultOp::Kind::kWave},
   };
   int total = 0;
   for (const Action& a : actions) total += a.weight;
@@ -683,6 +710,35 @@ bool FailureInjector::generate_step(int step) {
       // (idle corrupted cursors would otherwise stay dormant for the run).
       return fallback_traffic(), true;
     }
+    case 14: {  // correlated failure wave: isolate a random slice in bulk
+      std::vector<int> alive;
+      for (int i = 0; i < target_.num_processes; ++i) {
+        if (!crashed(i)) alive.push_back(encode_process(i));
+      }
+      const std::size_t slice = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(alive.size()) * policy_.wave_fraction));
+      if (alive.size() < 2 || slice >= alive.size()) {
+        return fallback_traffic();
+      }
+      // Partial Fisher-Yates: the first `slice` entries become the wave.
+      for (std::size_t i = 0; i < slice; ++i) {
+        const std::size_t j = i + rng_.next_below(alive.size() - i);
+        std::swap(alive[i], alive[j]);
+      }
+      alive.resize(slice);
+      std::sort(alive.begin(), alive.end());
+      op.kind = FaultOp::Kind::kWave;
+      op.groups = {alive};
+      apply(op, true);
+      FaultOp lift = op;
+      lift.kind = FaultOp::Kind::kWaveLift;
+      schedule_restore(target_.sim->now() +
+                           policy_.spike_len *
+                               (1 + static_cast<Time>(rng_.next_below(3))),
+                       lift);
+      return true;
+    }
     default:
       return fallback_traffic();
   }
@@ -719,6 +775,15 @@ void FailureInjector::stabilize() {
     target_.trace->emit(target_.sim->now(),
                         spec::FaultInjected{"stabilize", ""});
   }
+  // Lift outstanding waves through the bulk callback first: a target whose
+  // set_isolated is not Network-backed still converges, and Network-backed
+  // targets are idempotent under the heal() below.
+  for (const FaultOp& w : waves_) {
+    if (target_.set_isolated && !w.groups.empty()) {
+      target_.set_isolated(w.groups.front(), false);
+    }
+  }
+  waves_.clear();
   if (target_.heal) target_.heal();
   partitioned_ = false;
   downed_links_.clear();

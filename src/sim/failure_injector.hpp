@@ -52,7 +52,9 @@ struct FaultOp {
     kServerDown,       ///< membership server a unreachable (node down)
     kServerUp,         ///< membership server a reachable again
     kPartition,        ///< multi-way partition into `groups`
-    kHeal,             ///< remove partition + all link failures
+    kWave,             ///< correlated failure wave: isolate groups[0] in bulk
+    kWaveLift,         ///< lift a wave: de-isolate groups[0]
+    kHeal,             ///< remove partition + all link failures + waves
     kLinkDown,         ///< link a->b down (both ways unless `oneway`)
     kLinkUp,           ///< link a->b back up
     kDrop,             ///< set network drop probability to `p`
@@ -121,6 +123,10 @@ struct FaultTarget {
   /// Partition into components of encoded node refs (see encode_process/
   /// encode_server); every node appears in exactly one component.
   std::function<void(const std::vector<std::vector<int>>&)> partition;
+  /// Bulk wave isolation of encoded node refs (kWave / kWaveLift): the whole
+  /// slice goes down (or comes back) in ONE call, so a 10% wave over 5k
+  /// clients is O(slice) work, never O(slice x nodes) per-pair link edits.
+  std::function<void(const std::vector<int>&, bool)> set_isolated;
   std::function<void()> heal;
   /// Link control between encoded node refs; `oneway` downs a->b only.
   std::function<void(int, int, bool, bool)> set_link;  // a, b, up, oneway
@@ -158,6 +164,11 @@ class FailureInjector {
     int w_server_outage = 1;   ///< only effective with >= 2 servers
     int w_crash_in_delivery = 1;
     int w_partition_in_view_change = 1;  ///< leave, then partition mid-change
+    /// Correlated failure wave: isolate a random `wave_fraction` slice of the
+    /// processes in one bulk call, lift it after a random hold. Off by
+    /// default; the scale bench turns it on to model rack/AZ failures.
+    int w_wave = 0;
+    double wave_fraction = 0.1;
     /// State-corruption family weight (off by default so crash/partition-only
     /// suites keep their exact-safety contract; vsgc_stress --corrupt and the
     /// mc corruption menu turn it on). One draw picks uniformly among the
@@ -236,6 +247,7 @@ class FailureInjector {
   std::vector<bool> left_;
   std::vector<bool> server_down_;
   std::vector<FaultOp> downed_links_;
+  std::vector<FaultOp> waves_;  ///< outstanding (un-lifted) kWave ops
   bool partitioned_ = false;
   std::vector<PendingOp> pending_;  ///< timed restores, sorted by time
   std::uint64_t traffic_counter_ = 0;

@@ -9,6 +9,8 @@ namespace {
 
 std::size_t frame_wire_size(const Frame& f) {
   std::size_t bytes = wire::kFrameHeaderBytes;
+  if (f.header.group != 0) bytes += wire::kGroupTagBytes;
+  bytes += f.header.sack.num_runs() * wire::kSackRunBytes;
   for (const FrameEntry& e : f.entries) {
     bytes += e.payload_size + wire::kFrameEntryBytes;
   }
@@ -39,8 +41,18 @@ std::uint64_t CoRfifoTransport::fresh_incarnation() {
          (++incarnation_counter_ & 0xffff);
 }
 
+void CoRfifoTransport::deliver_up(net::NodeId from, std::uint32_t group,
+                                  const std::any& payload) {
+  if (group_deliver_) {
+    group_deliver_(from, group, payload);
+  } else if (deliver_) {
+    deliver_(from, payload);
+  }
+}
+
 void CoRfifoTransport::send(const std::set<net::NodeId>& dests,
-                            net::Payload payload, std::size_t payload_size) {
+                            net::Payload payload, std::size_t payload_size,
+                            std::uint32_t group) {
   if (crashed_) return;
   for (net::NodeId q : dests) {
     ++stats_.messages_sent;
@@ -49,21 +61,22 @@ void CoRfifoTransport::send(const std::set<net::NodeId>& dests,
       // Byte accounting matches a remote single-entry frame (payload + frame
       // header + entry header) so sync traffic tables don't under-count
       // self-addressed copies.
-      stats_.bytes_sent += payload_size + kPacketHeaderBytes;
-      sim_.schedule(1, [this, payload]() {
-        if (crashed_ || !deliver_) {
+      stats_.bytes_sent += payload_size + kPacketHeaderBytes +
+                           (group != 0 ? wire::kGroupTagBytes : 0);
+      sim_.schedule(1, [this, payload, group]() {
+        if (crashed_ || (!deliver_ && !group_deliver_)) {
           // A loopback in flight across our own crash is lost like any other
           // packet to a crashed node — count it instead of dropping silently.
           ++stats_.loopbacks_dropped;
           return;
         }
         ++stats_.messages_delivered;
-        deliver_(self_, payload.any());
+        deliver_up(self_, group, payload.any());
       });
       continue;
     }
     auto& out = outgoing_[q];
-    out.pending.push_back(FrameEntry{0, payload, payload_size});
+    out.pending.push_back(FrameEntry{0, payload, payload_size, group});
     track_peak(stats_.peak_pending, out.pending.size());
     if (config_.batching) {
       schedule_flush(q);
@@ -101,10 +114,19 @@ void CoRfifoTransport::flush(net::NodeId to) {
     f.header.incarnation = out.incarnation;
     f.header.first_seq = out.acked + 1;
     f.header.base_seq = out.next_seq;
+    f.header.group = out.pending.front().group;
     const std::size_t room = config_.send_window - out.unacked.size();
     std::size_t take = out.pending.size();
     if (take > cap) take = cap;
     if (take > room) take = room;
+    // A frame carries one group tag, so a multiplexed burst breaks at group
+    // boundaries (group-0-only traffic never does — PR 7 framing unchanged).
+    std::size_t same_group = 1;
+    while (same_group < take &&
+           out.pending[same_group].group == f.header.group) {
+      ++same_group;
+    }
+    take = same_group;
     f.entries.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
       FrameEntry e = std::move(out.pending.front());
@@ -130,6 +152,14 @@ void CoRfifoTransport::attach_piggyback(net::NodeId to, Frame& frame) {
   frame.header.flags |= wire::kFlagHasAck;
   frame.header.ack_incarnation = in.incarnation;
   frame.header.ack_seq = in.next_expected - 1;
+  // Selective ack: the reorder buffer's received runs ride along so the
+  // sender can skip retransmitting across loss gaps. Empty (zero bytes) for
+  // FIFO traffic; capped at kMaxSackRuns under pathological fragmentation
+  // (the cumulative ack alone still converges).
+  if (!in.received.empty() && in.received.num_runs() <= wire::kMaxSackRuns) {
+    frame.header.sack = in.received;
+    stats_.sack_runs_sent += in.received.num_runs();
+  }
   if (in.ack_due) {
     // This frame replaces a standalone ack that would otherwise go out.
     ++stats_.acks_piggybacked;
@@ -168,28 +198,44 @@ void CoRfifoTransport::arm_retransmit(net::NodeId to) {
         if (!reliable_set_.contains(to)) return;  // abandoned connection
         if (audit_outgoing(to)) return;  // corrupted cursors: re-homed
         const std::size_t cap = config_.batching ? config_.max_batch : 1;
-        std::size_t budget = out.unacked.size();
-        if (budget > config_.retransmit_batch) budget = config_.retransmit_batch;
+        const std::size_t budget = config_.retransmit_batch;
+        // Walk the unacked window, skipping entries the peer's SACK says it
+        // already holds: one loss gap costs one re-send, not a window burst.
+        // Frames break at SACK gaps and group boundaries (entries in a frame
+        // are consecutive and share one group tag).
         std::size_t i = 0;
-        while (i < budget) {
+        std::size_t resent = 0;
+        while (i < out.unacked.size() && resent < budget) {
+          if (out.peer_sacked.contains(out.unacked[i].seq)) {
+            ++stats_.sack_suppressed;
+            ++i;
+            continue;
+          }
           Frame f;
           f.header.incarnation = out.incarnation;
           f.header.first_seq = out.acked + 1;
           f.header.base_seq = out.unacked[i].seq;
-          std::size_t take = budget - i;
-          if (take > cap) take = cap;
+          f.header.group = out.unacked[i].group;
+          std::size_t take = 1;
+          while (i + take < out.unacked.size() && take < cap &&
+                 resent + take < budget &&
+                 out.unacked[i + take].group == f.header.group &&
+                 !out.peer_sacked.contains(out.unacked[i + take].seq)) {
+            ++take;
+          }
           f.entries.reserve(take);
           for (std::size_t k = 0; k < take; ++k) {
             f.entries.push_back(out.unacked[i + k]);
           }
           i += take;
+          resent += take;
           stats_.retransmissions += take;
           attach_piggyback(to, f);
           transmit_frame(to, std::move(f));
         }
-        if (budget > 0 && trace_ != nullptr && trace_->lifecycle()) {
+        if (resent > 0 && trace_ != nullptr && trace_->lifecycle()) {
           trace_->emit(sim_.now(),
-                       spec::XportRetransmit{self_.value, to.value, budget});
+                       spec::XportRetransmit{self_.value, to.value, resent});
         }
         // No ack progress since the last fire: back off (capped) so a long
         // partition degenerates to a slow probe, not a duplicate storm.
@@ -211,6 +257,7 @@ void CoRfifoTransport::set_reliable(const std::set<net::NodeId>& set) {
     // suffix is lost (Figure 3's lose(p, q)); a later re-add starts fresh.
     out.pending.clear();
     out.unacked.clear();
+    out.peer_sacked.clear();
     out.flush_timer.cancel();
     out.retransmit_timer.cancel();
     out.incarnation = 0;  // next send() to q gets a new incarnation
@@ -244,13 +291,14 @@ void CoRfifoTransport::on_packet(net::NodeId from, const std::any& raw) {
     return;
   }
   if (h.flags & wire::kFlagHasAck) {
-    handle_ack(from, h.ack_incarnation, h.ack_seq);
+    handle_ack(from, h.ack_incarnation, h.ack_seq, h.sack);
   }
   if (!frame->entries.empty()) handle_data(from, *frame);
 }
 
 void CoRfifoTransport::handle_ack(net::NodeId from, std::uint64_t incarnation,
-                                  std::uint64_t ack_seq) {
+                                  std::uint64_t ack_seq,
+                                  const util::IntervalSet& sack) {
   auto it = outgoing_.find(from);
   if (it == outgoing_.end()) return;
   auto& out = it->second;
@@ -263,10 +311,25 @@ void CoRfifoTransport::handle_ack(net::NodeId from, std::uint64_t incarnation,
     reset_stream(from, /*detected_corruption=*/true);
     return;
   }
-  if (ack_seq <= out.acked) return;
+  if (ack_seq < out.acked) return;  // stale/reordered: old selective info too
+  if (ack_seq == out.acked) {
+    // No cumulative progress, but the SACK may carry fresh reorder-buffer
+    // info (the receiver is still stuck on the same gap while buffering
+    // more). Merge runs — never trust one beyond our own send cursor.
+    for (const auto& [lo, hi] : sack.runs()) {
+      if (lo > ack_seq && hi < out.next_seq) out.peer_sacked.insert_run(lo, hi);
+    }
+    return;
+  }
   out.acked = ack_seq;
   while (!out.unacked.empty() && out.unacked.front().seq <= ack_seq) {
     out.unacked.pop_front();
+  }
+  // The SACK block is the receiver's complete current reorder state above
+  // the new cumulative ack: replace, then drop anything now covered.
+  out.peer_sacked.clear();
+  for (const auto& [lo, hi] : sack.runs()) {
+    if (lo > ack_seq && hi < out.next_seq) out.peer_sacked.insert_run(lo, hi);
   }
   // Ack progress: the connection is alive again — restart backoff and the
   // timer from a clean interval.
@@ -297,8 +360,10 @@ void CoRfifoTransport::reset_stream(net::NodeId to, bool detected_corruption) {
     ++stats_.corruption_resets;
     if (reset_handler_) reset_handler_(to);
   }
-  // Carry the unacked suffix over as the new stream's first messages.
+  // Carry the unacked suffix over as the new stream's first messages. The
+  // peer's selective-ack state belongs to the dead incarnation.
   out.acked = 0;
+  out.peer_sacked.clear();
   out.retransmit_timer.cancel();
   out.backoff = 1;
   if (out.unacked.empty()) {
@@ -319,8 +384,12 @@ void CoRfifoTransport::reset_stream(net::NodeId to, bool detected_corruption) {
     f.header.incarnation = out.incarnation;
     f.header.first_seq = 1;
     f.header.base_seq = out.unacked[i].seq;
-    std::size_t take = total - i;
-    if (take > cap) take = cap;
+    f.header.group = out.unacked[i].group;
+    std::size_t take = 1;
+    while (i + take < total && take < cap &&
+           out.unacked[i + take].group == f.header.group) {
+      ++take;
+    }
     f.entries.reserve(take);
     for (std::size_t k = 0; k < take; ++k) {
       f.entries.push_back(out.unacked[i + k]);
@@ -375,6 +444,7 @@ void CoRfifoTransport::handle_data(net::NodeId from, const Frame& frame) {
     in.incarnation = h.incarnation;
     in.next_expected = 1;
     in.out_of_order.clear();
+    in.received.clear();
   } else if (h.first_seq > in.next_expected) {
     // Same incarnation, yet the sender's unacked window starts beyond our
     // cumulative ack. Impossible for honest cursors: first_seq is the
@@ -412,22 +482,32 @@ void CoRfifoTransport::handle_data(net::NodeId from, const Frame& frame) {
     } else if (seq == in.next_expected && in.out_of_order.empty()) {
       ++stats_.messages_delivered;
       ++in.next_expected;
-      if (deliver_) deliver_(from, frame.entries[i].payload.any());
+      deliver_up(from, h.group, frame.entries[i].payload.any());
       // delivery handler may have crashed us: loop condition re-checks
-    } else {
-      in.out_of_order.emplace(seq, frame.entries[i]);  // no-op if buffered
+    } else if (in.received.insert(seq)) {
+      // Genuinely new reordered entry: buffer it. `received` is the
+      // run-length twin of the buffer's key set — it classifies duplicates
+      // in O(log runs) and becomes the SACK block of the next ack.
+      in.out_of_order.emplace(seq, frame.entries[i]);
       track_peak(stats_.peak_out_of_order, in.out_of_order.size());
     }
   }
   // Drain entries this frame made contiguous with earlier reordered ones.
-  while (!crashed_) {
-    auto next = in.out_of_order.find(in.next_expected);
-    if (next == in.out_of_order.end()) break;
-    ++stats_.messages_delivered;
-    ++in.next_expected;
-    FrameEntry ready = std::move(next->second);
-    in.out_of_order.erase(next);
-    if (deliver_) deliver_(from, ready.payload.any());
+  // `received` knows the whole contiguous run in O(log runs); the map walk
+  // hands each buffered payload up in order.
+  if (!crashed_ && in.received.contains(in.next_expected)) {
+    const std::uint64_t run_end = in.received.next_missing(in.next_expected);
+    while (!crashed_ && in.next_expected < run_end) {
+      auto next = in.out_of_order.find(in.next_expected);
+      VSGC_REQUIRE(next != in.out_of_order.end(),
+                   "reorder buffer diverged from its received-run twin");
+      ++stats_.messages_delivered;
+      ++in.next_expected;
+      FrameEntry ready = std::move(next->second);
+      in.out_of_order.erase(next);
+      deliver_up(from, ready.group, ready.payload.any());
+    }
+    if (!crashed_) in.received.erase_below(in.next_expected);
   }
   if (deliver_end_) deliver_end_();
   // The end hook (endpoint pump → app) may also have crashed us; `in` is
@@ -466,6 +546,10 @@ void CoRfifoTransport::send_standalone_ack(net::NodeId to) {
   ack.header.flags = wire::kFlagHasAck;
   ack.header.ack_incarnation = in.incarnation;
   ack.header.ack_seq = in.next_expected - 1;
+  if (!in.received.empty() && in.received.num_runs() <= wire::kMaxSackRuns) {
+    ack.header.sack = in.received;
+    stats_.sack_runs_sent += in.received.num_runs();
+  }
   in.ack_due = false;
   ++stats_.acks_sent;
   // A standalone ack is a header-only frame: kFrameHeaderBytes on the wire
@@ -515,6 +599,28 @@ bool CoRfifoTransport::corrupt_backoff(net::NodeId peer, std::uint32_t value) {
   if (it == outgoing_.end() || it->second.incarnation == 0) return false;
   it->second.backoff = value;  // arm_retransmit() clamps before scheduling
   return true;
+}
+
+std::size_t CoRfifoTransport::resident_bytes() const {
+  // Approximate heap footprint of per-peer stream state: container node and
+  // element sizes, not payload bytes (payloads are refcounted and owned by
+  // the application layer). bench_scale fits this against N.
+  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+  std::size_t total = sizeof(*this);
+  for (const auto& [q, out] : outgoing_) {
+    total += sizeof(std::pair<const net::NodeId, Outgoing>) + kNodeOverhead;
+    total += (out.pending.size() + out.unacked.size()) * sizeof(FrameEntry);
+    total += out.peer_sacked.resident_bytes();
+  }
+  for (const auto& [q, in] : incoming_) {
+    total += sizeof(std::pair<const net::NodeId, Incoming>) + kNodeOverhead;
+    total += in.out_of_order.size() *
+             (sizeof(std::pair<const std::uint64_t, FrameEntry>) +
+              kNodeOverhead);
+    total += in.received.resident_bytes();
+  }
+  total += reliable_set_.size() * (sizeof(net::NodeId) + kNodeOverhead);
+  return total;
 }
 
 void CoRfifoTransport::crash() {

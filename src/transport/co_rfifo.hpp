@@ -47,6 +47,7 @@
 #include "spec/events.hpp"
 #include "transport/frame.hpp"
 #include "util/ids.hpp"
+#include "util/interval_set.hpp"
 
 namespace vsgc::transport {
 
@@ -57,6 +58,7 @@ struct FrameEntry {
   std::uint64_t seq = 0;  ///< explicit in sender-side buffers for ack trims
   net::Payload payload;   ///< refcounted — copying an entry never copies bytes
   std::size_t payload_size = 0;
+  std::uint32_t group = 0;  ///< multiplexed channel tag (DESIGN.md §13)
 };
 
 /// The in-simulator frame: a wire::FrameHeader plus structured entries (the
@@ -121,10 +123,14 @@ class CoRfifoTransport {
     /// impossible ack/seq state detected at either end. Zero in any
     /// corruption-free execution.
     std::uint64_t corruption_resets = 0;
+    std::uint64_t sack_runs_sent = 0;   ///< selective-ack runs put on the wire
+    std::uint64_t sack_suppressed = 0;  ///< retransmits skipped via peer SACK
   };
 
   using DeliverFn =
       std::function<void(net::NodeId from, const std::any& payload)>;
+  using GroupDeliverFn = std::function<void(
+      net::NodeId from, std::uint32_t group, const std::any& payload)>;
   using BatchHookFn = std::function<void()>;
   using ResetFn = std::function<void(net::NodeId peer)>;
 
@@ -140,6 +146,15 @@ class CoRfifoTransport {
 
   /// Register the upper-layer delivery handler (gap-free FIFO per sender).
   void set_deliver_handler(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Group-aware delivery handler for multiplexed channels (DESIGN.md §13):
+  /// when set it takes precedence over the plain handler and additionally
+  /// receives the frame's group tag, letting one shared per-peer session
+  /// fan deliveries out to many logical channels (a ChannelMux installs
+  /// this). FIFO order holds across the whole session, hence per group too.
+  void set_group_deliver_handler(GroupDeliverFn fn) {
+    group_deliver_ = std::move(fn);
+  }
 
   /// Batch-aware delivery bracket: `begin` fires before the in-order drain of
   /// a multi-entry frame, `end` after it. Endpoints use this to defer their
@@ -166,9 +181,12 @@ class CoRfifoTransport {
   /// Multicast `payload` to every destination in `dests` (self allowed; a
   /// self-destination is delivered locally after a scheduling hop). The
   /// payload is wrapped into one refcounted handle here; fan-out, unacked
-  /// buffering, and retransmission all share it.
+  /// buffering, and retransmission all share it. `group` tags the entries
+  /// with a multiplexed channel id (0 = the untagged default channel); all
+  /// groups share this peer pair's single sequence space, ack stream, and
+  /// retransmit budget.
   void send(const std::set<net::NodeId>& dests, net::Payload payload,
-            std::size_t payload_size = 0);
+            std::size_t payload_size = 0, std::uint32_t group = 0);
 
   /// Maintain reliable gap-free connections to exactly `set` (plus self).
   void set_reliable(const std::set<net::NodeId>& set);
@@ -183,6 +201,11 @@ class CoRfifoTransport {
   const Stats& stats() const { return stats_; }
   const Config& config() const { return config_; }
   net::NodeId self() const { return self_; }
+
+  /// Approximate resident heap footprint of all per-peer stream state
+  /// (pending/unacked buffers, reorder runs, SACK runs). bench_scale uses
+  /// this for its per-member-memory-vs-N sublinearity fit.
+  std::size_t resident_bytes() const;
 
   /// Optional span instrumentation (DESIGN.md §10): when set AND the bus has
   /// lifecycle on, retransmission bursts emit spec::XportRetransmit events.
@@ -211,6 +234,10 @@ class CoRfifoTransport {
     std::uint64_t acked = 0;     ///< highest cumulatively acked seq
     std::deque<FrameEntry> pending;  ///< sent by app, not yet framed (no seq)
     std::deque<FrameEntry> unacked;  ///< framed and in flight / retransmittable
+    /// Seqs above `acked` the peer has selectively acked (runs from its SACK
+    /// blocks): the retransmit timer skips them, so one loss gap costs one
+    /// re-send instead of a whole-window burst (DESIGN.md §13).
+    util::IntervalSet peer_sacked;
     sim::TimerHandle flush_timer;
     sim::TimerHandle retransmit_timer;
     std::uint32_t backoff = 1;  ///< current retransmit-interval multiplier
@@ -220,6 +247,10 @@ class CoRfifoTransport {
     std::uint64_t incarnation = 0;
     std::uint64_t next_expected = 1;
     std::map<std::uint64_t, FrameEntry> out_of_order;  ///< bounded: recv_window
+    /// Run-length twin of out_of_order's key set: O(log runs) duplicate
+    /// classification and O(runs) SACK-block generation, where runs is the
+    /// number of loss gaps — not the window size (DESIGN.md §13).
+    util::IntervalSet received;
     bool ack_due = false;  ///< received data not yet acked (any frame kind)
     sim::TimerHandle ack_timer;
   };
@@ -227,7 +258,11 @@ class CoRfifoTransport {
   void on_packet(net::NodeId from, const std::any& raw);
   void handle_data(net::NodeId from, const Frame& frame);
   void handle_ack(net::NodeId from, std::uint64_t incarnation,
-                  std::uint64_t ack_seq);
+                  std::uint64_t ack_seq, const util::IntervalSet& sack);
+  /// Route one delivered payload to the group-aware handler if installed,
+  /// else the plain handler.
+  void deliver_up(net::NodeId from, std::uint32_t group,
+                  const std::any& payload);
   void handle_reset(net::NodeId from, std::uint64_t incarnation);
   void flush(net::NodeId to);
   void schedule_flush(net::NodeId to);
@@ -252,6 +287,7 @@ class CoRfifoTransport {
   Config config_;
   Stats stats_;
   DeliverFn deliver_;
+  GroupDeliverFn group_deliver_;
   DeliverFn raw_;
   BatchHookFn deliver_begin_;
   BatchHookFn deliver_end_;

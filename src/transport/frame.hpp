@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/interval_set.hpp"
 #include "util/serialization.hpp"
 
 namespace vsgc::transport::wire {
@@ -37,12 +38,33 @@ constexpr std::size_t kFrameEntryBytes = 8;
 /// decoding instead of driving a giant allocation.
 constexpr std::size_t kMaxFrameEntries = 4096;
 
-constexpr std::uint8_t kFlagHasAck = 0x1;  ///< ack_* fields are meaningful
-constexpr std::uint8_t kFlagReset = 0x2;   ///< "restart this stream" request
+/// Modeled per-frame cost of the group tag when a frame targets a non-zero
+/// multiplexed channel (kFlagHasGroup). Group-0 traffic pays nothing, so
+/// single-group byte accounting is unchanged from PR 7.
+constexpr std::size_t kGroupTagBytes = 4;
+
+/// Modeled cost of one selective-ack run (lo, hi) when a frame carries a
+/// SACK block (kFlagHasSack). FIFO steady state carries zero runs.
+constexpr std::size_t kSackRunBytes = 16;
+
+/// Cap on SACK runs per frame: beyond this the receiver falls back to the
+/// cumulative ack alone (the retransmit path still converges, just with more
+/// duplicate deliveries suppressed receiver-side).
+constexpr std::uint32_t kMaxSackRuns = 64;
+
+constexpr std::uint8_t kFlagHasAck = 0x1;    ///< ack_* fields are meaningful
+constexpr std::uint8_t kFlagReset = 0x2;     ///< "restart this stream" request
+constexpr std::uint8_t kFlagHasGroup = 0x4;  ///< group tag present (muxing)
+constexpr std::uint8_t kFlagHasSack = 0x8;   ///< selective-ack runs present
 
 /// Fixed frame header. `base_seq` numbers the first entry; entry i carries
 /// sequence base_seq + i (entries in one frame are always consecutive).
+/// `group` multiplexes many logical channels over one sequenced session
+/// (DESIGN.md §13): all groups share one seq space, one ack stream, and one
+/// retransmit budget per peer pair. `sack` lists received-but-unacked runs
+/// above ack_seq so the sender can skip retransmitting across loss gaps.
 struct FrameHeader {
+  // vsgc-lint: allow(codec-symmetry) flags is derived on encode (presence bits ORed in) and consulted per optional field on decode; codec_test round-trips both shapes
   std::uint8_t flags = 0;
   std::uint64_t incarnation = 0;      ///< sender connection incarnation
   std::uint64_t first_seq = 1;        ///< lowest seq still retransmittable
@@ -50,18 +72,27 @@ struct FrameHeader {
   std::uint64_t ack_incarnation = 0;  ///< reverse-stream incarnation acked
   std::uint64_t ack_seq = 0;          ///< cumulative ack for reverse stream
   std::uint32_t count = 0;            ///< number of payload entries
+  std::uint32_t group = 0;            ///< multiplexed channel tag
+  // vsgc-lint: allow(codec-symmetry) sack is flag-gated: written once iff non-empty, read once iff kFlagHasSack — the linter sees the reserve() mention as a second write
+  util::IntervalSet sack{};           ///< received runs above ack_seq
 
   void encode(Encoder& enc) const {
-    enc.reserve(37);
-    enc.put_u8(flags);
+    enc.reserve(41 + 16 * sack.num_runs());
+    std::uint8_t f = flags;
+    if (group != 0) f |= kFlagHasGroup;
+    if (!sack.empty()) f |= kFlagHasSack;
+    enc.put_u8(f);
     enc.put_u64(incarnation);
     enc.put_u64(first_seq);
     enc.put_u64(base_seq);
     enc.put_u64(ack_incarnation);
     enc.put_u64(ack_seq);
     enc.put_u32(count);
+    if (group != 0) enc.put_u32(group);
+    if (!sack.empty()) sack.encode(enc);
   }
 
+  // vsgc-lint: allow(codec-symmetry) token order differs because encode emits the derived flag byte before the gated fields; byte order on the wire is identical
   static FrameHeader decode(Decoder& dec) {
     FrameHeader h;
     h.flags = dec.get_u8();
@@ -71,6 +102,15 @@ struct FrameHeader {
     h.ack_incarnation = dec.get_u64();
     h.ack_seq = dec.get_u64();
     h.count = dec.get_u32();
+    if (h.flags & kFlagHasGroup) {
+      h.group = dec.get_u32();
+      if (h.group == 0) throw DecodeError("group flag with zero group tag");
+    }
+    if (h.flags & kFlagHasSack) {
+      h.sack = util::IntervalSet::decode(dec, kMaxSackRuns);
+      if (h.sack.empty()) throw DecodeError("sack flag with empty sack");
+    }
+    h.flags &= static_cast<std::uint8_t>(~(kFlagHasGroup | kFlagHasSack));
     return h;
   }
 

@@ -79,6 +79,12 @@ FaultScript SampleScript() {
   wedge.a = 1;
   wedge.v = std::uint64_t{1} << 40;  // above-32-bit value must round-trip
   script.ops.push_back(wedge);
+
+  FaultOp wave;
+  wave.at = 800 * sim::kMillisecond;
+  wave.kind = FaultOp::Kind::kWave;
+  wave.groups = {{0, 2, sim::encode_server(1)}};  // slice rides in groups[0]
+  script.ops.push_back(wave);
   return script;
 }
 
@@ -210,6 +216,75 @@ TEST(FailureInjector, StabilizeUndoesCrashesPartitionsAndServerOutages) {
   injector.stabilize();
   EXPECT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond))
       << "every member must be back in one agreed view after stabilize()";
+}
+
+// -- Correlated failure waves -------------------------------------------------
+
+TEST(FailureInjector, WaveIsolatesSliceInBulkAndLiftRestoresIt) {
+  app::World w(SmallWorld(4, 1));
+  const net::NodeId in_wave = net::node_of(ProcessId{1});
+  const net::NodeId in_wave2 = net::node_of(ProcessId{2});
+  const net::NodeId outside = net::node_of(ProcessId{3});
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+
+  FaultOp wave;
+  wave.at = w.sim().now();
+  wave.kind = FaultOp::Kind::kWave;
+  wave.groups = {{0, 1}};  // processes 0 and 1
+  FaultOp lift = wave;
+  lift.at = wave.at + sim::kSecond;
+  lift.kind = FaultOp::Kind::kWaveLift;
+  FaultScript script;
+  script.ops.push_back(wave);
+  script.ops.push_back(lift);
+
+  FailureInjector injector(w.fault_target(), {}, 1);
+  injector.replay(script);
+  // Both ops already applied: the slice is back up.
+  EXPECT_TRUE(w.network().can_send(in_wave, outside));
+  EXPECT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond));
+}
+
+TEST(FailureInjector, StabilizeLiftsOutstandingWaves) {
+  app::World w(SmallWorld(4, 1));
+  const net::NodeId in_wave = net::node_of(ProcessId{1});
+  const net::NodeId outside = net::node_of(ProcessId{3});
+  w.start();
+  ASSERT_TRUE(w.run_until_converged(w.all_members(), 10 * sim::kSecond));
+
+  FaultOp wave;
+  wave.at = w.sim().now();
+  wave.kind = FaultOp::Kind::kWave;
+  wave.groups = {{0, 1}};
+  FaultScript script;
+  script.ops.push_back(wave);
+
+  FailureInjector injector(w.fault_target(), {}, 1);
+  injector.replay(script);
+  EXPECT_FALSE(w.network().can_send(in_wave, outside));
+  EXPECT_FALSE(w.network().can_send(outside, in_wave))
+      << "isolation is symmetric: no traffic in either direction";
+
+  injector.stabilize();
+  EXPECT_TRUE(w.network().can_send(in_wave, outside));
+  EXPECT_TRUE(w.run_until_converged(w.all_members(), 60 * sim::kSecond));
+}
+
+TEST(Network, IsolateBlocksPairsTouchingTheSliceOnly) {
+  sim::Simulator sim;
+  net::Network net(sim, Rng(1), {});
+  const net::NodeId a{1}, b{2}, c{3}, d{4};
+  net.isolate({a, b});
+  EXPECT_FALSE(net.can_send(a, c));
+  EXPECT_FALSE(net.can_send(c, a));
+  EXPECT_FALSE(net.can_send(a, b)) << "two isolated nodes cannot talk either";
+  EXPECT_TRUE(net.can_send(c, d)) << "pairs outside the slice are untouched";
+  net.deisolate({a});
+  EXPECT_TRUE(net.can_send(a, c));
+  EXPECT_FALSE(net.can_send(b, c));
+  net.heal();
+  EXPECT_TRUE(net.can_send(b, c)) << "heal clears isolation";
 }
 
 // -- Asymmetric links ---------------------------------------------------------

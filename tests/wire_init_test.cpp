@@ -41,6 +41,22 @@ TEST(WireInit, MembershipMessagesDefaultRoundTrip) {
   round_trip_default<membership::wire::Leave>();
 }
 
+// ViewDelta's decode invariant (base < id) excludes the default value by
+// design: a default-constructed delta still encodes deterministically (its
+// fields are value-initialized), but decoding it must fail cleanly rather
+// than admit a self-referential chain link.
+TEST(WireInit, DefaultViewDeltaIsDeterminateButUndecodable) {
+  const membership::wire::ViewDelta a{}, b{};
+  EXPECT_EQ(a, b);
+  Encoder ea, eb;
+  a.encode(ea);
+  b.encode(eb);
+  EXPECT_EQ(ea.bytes(), eb.bytes());
+  Decoder dec(ea.bytes());
+  (void)dec.get_u8();
+  EXPECT_THROW(membership::wire::ViewDelta::decode(dec), DecodeError);
+}
+
 // The initializers must produce *value*-initialized fields: two separately
 // default-constructed messages are equal and encode to identical bytes.
 TEST(WireInit, DefaultConstructionIsDeterminate) {

@@ -337,6 +337,92 @@ void validate_tracelat(const JsonValue& results, Check& c) {
   c.require(summaries == 1, "tracelat needs exactly one summary row");
 }
 
+/// Schema for BENCH_scale.json (bench_scale, the E12 N-sweep): at least two
+/// "sweep" rows with strictly increasing n, exactly one "fit" row per gated
+/// metric, and exactly one "determinism" row that must report identical
+/// same-seed traces. The CI sublinear gate reads the fit exponents from
+/// here, so absence must fail loudly.
+void validate_scale(const JsonValue& results, Check& c) {
+  std::size_t sweeps = 0, determinism = 0;
+  std::size_t fit_latency = 0, fit_resident = 0;
+  std::int64_t last_n = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JsonValue& row = results.at(i);
+    if (!row.is_object()) continue;
+    const std::string at = "results[" + std::to_string(i) + "]";
+    const JsonValue* kase = row.find("case");
+    c.require(kase != nullptr && kase->is_string(),
+              at + " missing string 'case'");
+    if (kase == nullptr || !kase->is_string()) continue;
+    const std::string name = kase->as_string();
+    if (name == "sweep") {
+      ++sweeps;
+      const JsonValue* n = row.find("n");
+      c.require(n != nullptr && n->is_int() && n->as_int() > 0,
+                at + " missing positive integer 'n'");
+      if (n != nullptr && n->is_int()) {
+        c.require(n->as_int() > last_n,
+                  at + " sweep rows must have strictly increasing 'n'");
+        last_n = n->as_int();
+      }
+      const JsonValue* groups = row.find("groups");
+      c.require(groups != nullptr && groups->is_int() &&
+                    groups->as_int() >= 2,
+                at + " missing integer 'groups' >= 2");
+      for (const char* field : {"view_change_ms", "flash_join_ms",
+                                "msgs_per_sec", "bytes_per_msg",
+                                "resident_bytes_per_member"}) {
+        const JsonValue* v = row.find(field);
+        c.require(v != nullptr && v->is_number() && v->as_double() > 0,
+                  at + " missing positive '" + field + "'");
+      }
+      for (const char* field : {"deliveries", "waves", "checker_tolerated",
+                                "sack_runs_sent", "sack_suppressed"}) {
+        const JsonValue* v = row.find(field);
+        c.require(v != nullptr && v->is_int() && v->as_int() >= 0,
+                  at + " missing non-negative integer '" + field + "'");
+      }
+    } else if (name == "fit") {
+      const JsonValue* metric = row.find("metric");
+      c.require(metric != nullptr && metric->is_string(),
+                at + " missing string 'metric'");
+      if (metric != nullptr && metric->is_string()) {
+        const std::string m = metric->as_string();
+        if (m == "view_change_ms") ++fit_latency;
+        else if (m == "resident_bytes_per_member") ++fit_resident;
+        else c.require(false, at + " unknown fit metric '" + m + "'");
+      }
+      const JsonValue* exp = row.find("exponent");
+      c.require(exp != nullptr && exp->is_number(),
+                at + " missing numeric 'exponent'");
+      const JsonValue* sub = row.find("sublinear");
+      c.require(sub != nullptr && sub->is_bool(),
+                at + " missing boolean 'sublinear'");
+    } else if (name == "determinism") {
+      ++determinism;
+      const JsonValue* ident = row.find("identical");
+      c.require(ident != nullptr && ident->is_bool(),
+                at + " missing boolean 'identical'");
+      // Not a perf number but an invariant: same-seed scale runs must replay
+      // byte-identically, so a false here is a schema-level failure.
+      if (ident != nullptr && ident->is_bool()) {
+        c.require(ident->as_bool(),
+                  at + " same-seed determinism check reported divergence");
+      }
+      const JsonValue* bytes = row.find("trace_bytes");
+      c.require(bytes != nullptr && bytes->is_int() && bytes->as_int() > 0,
+                at + " missing positive integer 'trace_bytes'");
+    } else {
+      c.require(false, at + " unknown scale case '" + name + "'");
+    }
+  }
+  c.require(sweeps >= 2, "scale needs at least two sweep rows");
+  c.require(fit_latency == 1 && fit_resident == 1,
+            "scale needs exactly one fit row per gated metric "
+            "(view_change_ms, resident_bytes_per_member)");
+  c.require(determinism == 1, "scale needs exactly one determinism row");
+}
+
 /// True iff metrics.histograms carries a histogram with this exact name.
 bool has_histogram(const JsonValue& root, const std::string& name) {
   const JsonValue* metrics = root.find("metrics");
@@ -398,6 +484,10 @@ Check validate(const JsonValue& root) {
     if (bench != nullptr && bench->is_string() &&
         bench->as_string() == "throughput") {
       validate_throughput(*results, c);
+    }
+    if (bench != nullptr && bench->is_string() &&
+        bench->as_string() == "scale") {
+      validate_scale(*results, c);
     }
   }
 
